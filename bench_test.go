@@ -1,0 +1,264 @@
+package repro
+
+// The benchmark harness: one benchmark per table (T1–T6) and figure
+// (F1–F6) of the reconstructed evaluation — each regenerates its artifact
+// end to end (simulate → trace → cluster → fold → report) — plus
+// micro-benchmarks of the load-bearing algorithms.
+//
+// Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The experiment benches use a reduced environment (4 ranks, 60
+// iterations) so a full sweep stays in the tens of seconds; `cmd/report`
+// regenerates the full-size artifacts.
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/burst"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/experiments"
+	"repro/internal/fit"
+	"repro/internal/folding"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func benchEnv() experiments.Env {
+	return experiments.Env{Ranks: 4, Iters: 60, Seed: 1}
+}
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	env := benchEnv()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Run(env); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- one benchmark per table/figure ---
+
+func BenchmarkF1Clustering(b *testing.B)     { benchExperiment(b, "F1") }
+func BenchmarkT1ClusterQuality(b *testing.B) { benchExperiment(b, "T1") }
+func BenchmarkF2Folding(b *testing.B)        { benchExperiment(b, "F2") }
+func BenchmarkF3Rates(b *testing.B)          { benchExperiment(b, "F3") }
+func BenchmarkT2Accuracy(b *testing.B)       { benchExperiment(b, "T2") }
+func BenchmarkT3Overhead(b *testing.B)       { benchExperiment(b, "T3") }
+func BenchmarkF4PeriodSweep(b *testing.B)    { benchExperiment(b, "F4") }
+func BenchmarkF5InstanceSweep(b *testing.B)  { benchExperiment(b, "F5") }
+func BenchmarkF6Callstack(b *testing.B)      { benchExperiment(b, "F6") }
+func BenchmarkT4FitAblation(b *testing.B)    { benchExperiment(b, "T4") }
+func BenchmarkT5PruneAblation(b *testing.B)  { benchExperiment(b, "T5") }
+func BenchmarkT6Imbalance(b *testing.B)      { benchExperiment(b, "T6") }
+func BenchmarkT7Noise(b *testing.B)          { benchExperiment(b, "T7") }
+func BenchmarkF7IterationFold(b *testing.B)  { benchExperiment(b, "F7") }
+func BenchmarkF8Spectral(b *testing.B)       { benchExperiment(b, "F8") }
+
+// --- micro-benchmarks of the load-bearing pieces ---
+
+// BenchmarkSimulator measures raw trace-generation throughput.
+func BenchmarkSimulator(b *testing.B) {
+	app := apps.NewStencil(50)
+	cfg := apps.DefaultTraceConfig(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := sim.Run(cfg, app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(tr.Events) + len(tr.Samples)))
+	}
+}
+
+func benchTrace(b *testing.B) *trace.Trace {
+	b.Helper()
+	app := apps.NewStencil(100)
+	tr, err := sim.Run(apps.DefaultTraceConfig(8), app)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkTraceEncode measures binary serialization.
+func BenchmarkTraceEncode(b *testing.B) {
+	tr := benchTrace(b)
+	var buf bytes.Buffer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := tr.Write(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(buf.Len()))
+}
+
+// BenchmarkTraceDecode measures binary deserialization.
+func BenchmarkTraceDecode(b *testing.B) {
+	tr := benchTrace(b)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.ReadFrom(bytes.NewReader(raw)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBurstExtract measures burst extraction over a full trace.
+func BenchmarkBurstExtract(b *testing.B) {
+	tr := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := burst.Extract(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDBSCAN measures density clustering of 10k 3-D points.
+func BenchmarkDBSCAN(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	points := make([][]float64, 10_000)
+	for i := range points {
+		c := float64(i % 5)
+		points[i] = []float64{
+			c/5 + 0.01*rng.NormFloat64(),
+			c/5 + 0.01*rng.NormFloat64(),
+			0.5 + 0.01*rng.NormFloat64(),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.DBSCAN(points, 0.05, 4)
+	}
+}
+
+// BenchmarkKMeans measures the baseline clusterer on the same workload.
+func BenchmarkKMeans(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	points := make([][]float64, 10_000)
+	for i := range points {
+		c := float64(i % 5)
+		points[i] = []float64{c/5 + 0.01*rng.NormFloat64(), c/5 + 0.01*rng.NormFloat64()}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.KMeans(points, 5, 1, 50)
+	}
+}
+
+// benchInstances synthesizes folding input: n instances with s samples.
+func benchInstances(n, s int) []folding.Instance {
+	rng := rand.New(rand.NewPCG(3, 4))
+	shape := counters.ExpDecay(3, 0.2)
+	out := make([]folding.Instance, n)
+	var clock trace.Time
+	for i := range out {
+		d := trace.Time(1_000_000)
+		in := folding.Instance{Start: clock, End: clock + d}
+		in.Totals[counters.TotIns] = 10_000_000
+		for j := 0; j < s; j++ {
+			x := rng.Float64()
+			var sm trace.Sample
+			sm.Time = in.Start + trace.Time(x*float64(d))
+			sm.Counters[counters.TotIns] = int64(1e7 * shape.Integral(x))
+			in.Samples = append(in.Samples, sm)
+		}
+		out[i] = in
+		clock += d
+	}
+	return out
+}
+
+// BenchmarkFold measures the core folding reconstruction (1000 instances,
+// 2 samples each).
+func BenchmarkFold(b *testing.B) {
+	instances := benchInstances(1000, 2)
+	cfg := folding.Config{Counter: counters.TotIns}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := folding.Fold(instances, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFoldStacks measures call-stack folding.
+func BenchmarkFoldStacks(b *testing.B) {
+	instances := benchInstances(1000, 3)
+	for i := range instances {
+		for j := range instances[i].Samples {
+			instances[i].Samples[j].Stack = []uint32{uint32(j%3) + 1, 9}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		folding.FoldStacks(instances, 50)
+	}
+}
+
+// BenchmarkIsotonic measures PAVA on 100k points.
+func BenchmarkIsotonic(b *testing.B) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	pts := make([]fit.Point, 100_000)
+	for i := range pts {
+		x := float64(i) / 100_000
+		pts[i] = fit.Point{X: x, Y: x + 0.1*rng.NormFloat64(), W: 1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fit.Isotonic(pts)
+	}
+}
+
+// BenchmarkPCHIP measures construction + 10k evaluations.
+func BenchmarkPCHIP(b *testing.B) {
+	xs := make([]float64, 101)
+	ys := make([]float64, 101)
+	for i := range xs {
+		xs[i] = float64(i) / 100
+		ys[i] = xs[i] * xs[i]
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := fit.NewPCHIP(xs, ys)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := 0; j < 10_000; j++ {
+			p.Eval(float64(j) / 10_000)
+		}
+	}
+}
+
+// BenchmarkAnalyzePipeline measures the full Analyze pipeline on a
+// moderate trace.
+func BenchmarkAnalyzePipeline(b *testing.B) {
+	tr := benchTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Analyze(tr, core.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+// Command burstcluster extracts computation bursts from a trace and
+// clusters them, printing the discovered application structure and
+// optionally writing the scatter data for plotting.
+//
+// Usage:
+//
+//	burstcluster -in stencil.uvt [-min-duration 50] [-eps 0] [-minpts 4] [-scatter scatter.tsv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/burst"
+	"repro/internal/cluster"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input trace file (required)")
+		minDur = flag.Float64("min-duration", 50, "burst duration filter in µs")
+		eps    = flag.Float64("eps", 0, "DBSCAN eps in normalized space (0 = automatic)")
+		minPts = flag.Int("minpts", 4, "DBSCAN minPts")
+		noIPC  = flag.Bool("no-ipc", false, "cluster in 2-D (duration × instructions) instead of 3-D")
+		scout  = flag.String("scatter", "", "write burst scatter TSV (duration_us, ipc, cluster)")
+	)
+	flag.Parse()
+	if *in == "" {
+		fatal(fmt.Errorf("missing -in"))
+	}
+	tr, err := trace.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	all, err := burst.Extract(tr)
+	if err != nil {
+		fatal(err)
+	}
+	kept, dropped := burst.Filter{MinDuration: trace.Time(*minDur * 1e3)}.Apply(all)
+	res := cluster.ClusterBursts(kept, cluster.Config{Eps: *eps, MinPts: *minPts, UseIPC: !*noIPC})
+
+	fmt.Printf("%s: %d bursts (%d filtered, %.1f%% time kept), K=%d, eps=%.4f, silhouette=%.3f\n",
+		tr.Meta.App, len(all), len(dropped), 100*burst.Coverage(kept, all),
+		res.K, res.Eps, res.Silhouette)
+	fmt.Printf("cluster time coverage: %.1f%%\n\n", 100*cluster.ClusterTimeCoverage(kept, res.Assign))
+
+	tb := &report.Table{
+		Title:  "Detected computation phases",
+		Header: []string{"cluster", "instances", "total_time_s", "mean_duration_ms", "mean_IPC"},
+	}
+	type agg struct {
+		n   int
+		tot trace.Time
+		ipc float64
+	}
+	byCluster := map[int]*agg{}
+	for i, b := range kept {
+		c := res.Assign[i]
+		a := byCluster[c]
+		if a == nil {
+			a = &agg{}
+			byCluster[c] = a
+		}
+		a.n++
+		a.tot += b.Duration()
+		a.ipc += b.IPC()
+	}
+	for c := 1; c <= res.K; c++ {
+		a := byCluster[c]
+		if a == nil {
+			continue
+		}
+		tb.AddRow(fmt.Sprintf("Cluster %d", c), a.n,
+			float64(a.tot)/1e9, float64(a.tot)/float64(a.n)/1e6, a.ipc/float64(a.n))
+	}
+	if a := byCluster[cluster.Noise]; a != nil {
+		tb.AddRow("noise", a.n, float64(a.tot)/1e9, float64(a.tot)/float64(a.n)/1e6, a.ipc/float64(a.n))
+	}
+	fmt.Print(tb.Format())
+
+	if *scout != "" {
+		rows := make([][]string, 0, len(kept))
+		for i, b := range kept {
+			rows = append(rows, []string{
+				fmt.Sprintf("%g", float64(b.Duration())/1e3),
+				fmt.Sprintf("%g", b.IPC()),
+				fmt.Sprintf("%d", res.Assign[i]),
+			})
+		}
+		if err := report.WriteTSV(*scout, []string{"duration_us", "ipc", "cluster"}, rows); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nwrote %s\n", *scout)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "burstcluster:", err)
+	os.Exit(1)
+}

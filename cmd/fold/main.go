@@ -1,0 +1,179 @@
+// Command fold runs the full analysis pipeline on a trace — burst
+// extraction, clustering, folding, call-stack folding — and reports each
+// detected phase's internal evolution, with ASCII curve previews and the
+// heuristic advice the methodology derives.
+//
+// Usage:
+//
+//	fold -in stencil.uvt [-counter PAPI_TOT_INS] [-bins 100] [-model binned+pchip]
+//	     [-phases 5] [-curves out_dir] [-iterations]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/folding"
+	"repro/internal/report"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		in         = flag.String("in", "", "input trace file (required)")
+		counter    = flag.String("counter", "", "restrict folding to one PAPI counter name (default: all)")
+		bins       = flag.Int("bins", 100, "folded-curve grid resolution")
+		model      = flag.String("model", "binned+pchip", "fit model: binned+pchip, kernel, binned")
+		phases     = flag.Int("phases", 5, "maximum phases to analyze")
+		curves     = flag.String("curves", "", "directory to write per-phase folded-curve TSVs")
+		iterations = flag.Bool("iterations", false, "fold whole iterations (EvIteration markers) instead of clustered bursts")
+	)
+	flag.Parse()
+	if *in == "" {
+		fatal(fmt.Errorf("missing -in"))
+	}
+	tr, err := trace.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *iterations {
+		foldIterations(tr, *counter, *bins)
+		return
+	}
+
+	opts := core.Options{MaxPhases: *phases}
+	opts.Fold.Bins = *bins
+	switch *model {
+	case "binned+pchip":
+		opts.Fold.Model = folding.ModelBinnedPCHIP
+	case "kernel":
+		opts.Fold.Model = folding.ModelKernel
+	case "binned":
+		opts.Fold.Model = folding.ModelBinned
+	default:
+		fatal(fmt.Errorf("unknown model %q", *model))
+	}
+	if *counter != "" {
+		c, err := counters.ParseCounter(*counter)
+		if err != nil {
+			fatal(err)
+		}
+		opts.Counters = []counters.Counter{c}
+	}
+
+	rep, err := core.Analyze(tr, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s: %d ranks, %d bursts (%d filtered), %d phases detected\n\n",
+		rep.App, rep.Ranks, rep.Bursts, rep.Filtered, rep.Clustering.K)
+
+	for _, ph := range rep.Phases {
+		fmt.Printf("── Phase %d ─ %d instances, %.3f s total, mean %.3f ms, IPC %.2f",
+			ph.ClusterID, ph.Instances, float64(ph.TotalTime)/1e9, ph.MeanDuration/1e6, ph.MeanIPC)
+		if ph.ImbalanceFactor > 0 {
+			fmt.Printf(", imbalance %.2f", ph.ImbalanceFactor)
+		}
+		fmt.Println()
+
+		cs := make([]counters.Counter, 0, len(ph.Folds))
+		for c := range ph.Folds {
+			cs = append(cs, c)
+		}
+		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
+		for _, c := range cs {
+			f := ph.Folds[c]
+			fmt.Printf("\n%s: %d points folded from %d instances (%d pruned)\n",
+				c, len(f.Points), f.Instances, f.Pruned)
+			fmt.Print(report.ASCIIPlot(
+				fmt.Sprintf("  instantaneous %s rate (per µs) over normalized time", c),
+				f.Grid, scale(f.Rate, 1e3), 72, 12))
+			if len(f.Breakpoints) > 0 {
+				fmt.Printf("  sub-phase boundaries at x = %v\n", f.Breakpoints)
+			}
+			if *curves != "" {
+				path := filepath.Join(*curves, fmt.Sprintf("phase%d_%s.tsv", ph.ClusterID, c))
+				err := report.WriteSeriesTSV(path, []report.Series{
+					{Name: "cumulative", X: f.Grid, Y: f.Cumulative},
+					{Name: "rate_per_us", X: f.Grid, Y: scale(f.Rate, 1e3)},
+				})
+				if err != nil {
+					fatal(err)
+				}
+			}
+		}
+		for c, err := range ph.FoldErrors {
+			fmt.Printf("%s: not folded (%v)\n", c, err)
+		}
+		if ph.Stacks != nil && len(ph.Stacks.Regions) > 0 {
+			fmt.Printf("\ncall-stack folding (%d samples): regions ", ph.Stacks.Samples)
+			for i, id := range ph.Stacks.Regions {
+				if i > 0 {
+					fmt.Print(", ")
+				}
+				fmt.Print(tr.Meta.RegionName(id))
+			}
+			fmt.Println()
+			if trs := ph.Stacks.Transitions(); len(trs) > 0 {
+				fmt.Printf("region transitions at x = %v\n", trs)
+			}
+		}
+		if len(ph.Advice) > 0 {
+			fmt.Println("\nadvice:")
+			for _, a := range ph.Advice {
+				fmt.Println("  •", a)
+			}
+		}
+		fmt.Println()
+	}
+}
+
+// foldIterations runs marker-driven iteration folding instead of the
+// clustering pipeline.
+func foldIterations(tr *trace.Trace, counterName string, bins int) {
+	instances, err := folding.InstancesFromIterations(tr)
+	if err != nil {
+		fatal(err)
+	}
+	cs := []counters.Counter{counters.TotIns}
+	if counterName != "" {
+		c, err := counters.ParseCounter(counterName)
+		if err != nil {
+			fatal(err)
+		}
+		cs = []counters.Counter{c}
+	}
+	fmt.Printf("%s: folding %d whole iterations\n\n", tr.Meta.App, len(instances))
+	for _, c := range cs {
+		res, err := folding.Fold(instances, folding.Config{Counter: c, Bins: bins})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s over one iteration (mean %.2f ms):\n", c, res.MeanDuration/1e6)
+		fmt.Print(report.ASCIIPlot("  cumulative", res.Grid, res.Cumulative, 72, 12))
+		fmt.Print(report.ASCIIPlot("  rate (per µs)", res.Grid, scale(res.Rate, 1e3), 72, 12))
+		if len(res.Breakpoints) > 0 {
+			fmt.Printf("  compute/wait boundaries at x = %v\n", res.Breakpoints)
+		}
+	}
+}
+
+func scale(xs []float64, f float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x * f
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fold:", err)
+	os.Exit(1)
+}

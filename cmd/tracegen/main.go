@@ -1,0 +1,102 @@
+// Command tracegen runs one of the built-in synthetic applications under
+// the simulator and writes the resulting trace, optionally also in the
+// Paraver-style text format.
+//
+// Usage:
+//
+//	tracegen -app stencil -ranks 16 -iters 200 -o stencil.uvt [-prv] [-period 20] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/paraver"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		appName = flag.String("app", "stencil", "application: "+strings.Join(apps.Names(), ", "))
+		ranks   = flag.Int("ranks", 16, "number of MPI ranks")
+		iters   = flag.Int("iters", 200, "main-loop iterations")
+		seed    = flag.Uint64("seed", 1, "simulator seed")
+		period  = flag.Float64("period", 20, "sampling period in ms (0 disables sampling)")
+		fine    = flag.Bool("fine", false, "use the fine-grain reference configuration (50 µs)")
+		out     = flag.String("o", "", "output trace file (default <app>.uvt)")
+		prv     = flag.Bool("prv", false, "also write <out>.prv and <out>.pcf (Paraver-style text)")
+	)
+	flag.Parse()
+
+	app, err := apps.ByName(*appName, *iters)
+	if err != nil {
+		fatal(err)
+	}
+	var cfg sim.Config
+	if *fine {
+		cfg = apps.FineTraceConfig(*ranks)
+	} else {
+		cfg = apps.DefaultTraceConfig(*ranks)
+		cfg.Sampling.Period = trace.Time(*period * 1e6)
+	}
+	cfg.Seed = *seed
+
+	tr, err := sim.Run(cfg, app)
+	if err != nil {
+		fatal(err)
+	}
+	path := *out
+	if path == "" {
+		path = *appName + ".uvt"
+	}
+	if err := tr.WriteFile(path); err != nil {
+		fatal(err)
+	}
+	st := tr.Stats()
+	fmt.Printf("wrote %s: %d ranks, %.3f s virtual time, %d events, %d samples, %d comms\n",
+		path, tr.Meta.Ranks, float64(st.Duration)/1e9, st.Events, st.Samples, st.Comms)
+
+	if *prv {
+		if err := writePRV(tr, path); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+func writePRV(tr *trace.Trace, base string) error {
+	prvPath := base + ".prv"
+	f, err := os.Create(prvPath)
+	if err != nil {
+		return err
+	}
+	if err := paraver.Encode(f, tr); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	pcfPath := base + ".pcf"
+	g, err := os.Create(pcfPath)
+	if err != nil {
+		return err
+	}
+	if err := paraver.EncodePCF(g, tr); err != nil {
+		g.Close()
+		return err
+	}
+	if err := g.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s and %s\n", prvPath, pcfPath)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,88 @@
+// Command trslice extracts a time window from a trace (e.g. the steady
+// state after initialization), writing a new re-based trace.
+//
+// Usage:
+//
+//	trslice -in app.uvt -from 2.5s -to 10s -o steady.uvt
+//
+// Windows accept "s", "ms", "us"/"µs" and "ns" suffixes (bare numbers are
+// seconds).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		in   = flag.String("in", "", "input trace file (required)")
+		from = flag.String("from", "0", "window start (e.g. 2.5s, 300ms)")
+		to   = flag.String("to", "", "window end (default: trace end)")
+		out  = flag.String("o", "", "output trace file (required)")
+	)
+	flag.Parse()
+	if *in == "" || *out == "" {
+		fatal(fmt.Errorf("missing -in or -o"))
+	}
+	tr, err := trace.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	f, err := parseTime(*from)
+	if err != nil {
+		fatal(fmt.Errorf("bad -from: %w", err))
+	}
+	t := tr.Meta.Duration
+	if *to != "" {
+		t, err = parseTime(*to)
+		if err != nil {
+			fatal(fmt.Errorf("bad -to: %w", err))
+		}
+	}
+	sl := tr.Slice(f, t)
+	if err := sl.Validate(); err != nil {
+		fatal(fmt.Errorf("sliced trace invalid: %w", err))
+	}
+	if err := sl.WriteFile(*out); err != nil {
+		fatal(err)
+	}
+	st := sl.Stats()
+	fmt.Printf("wrote %s: window [%s, %s) → %.3f s, %d events, %d samples, %d comms\n",
+		*out, *from, *to, float64(st.Duration)/1e9, st.Events, st.Samples, st.Comms)
+}
+
+// parseTime converts a human time string to virtual nanoseconds.
+func parseTime(s string) (trace.Time, error) {
+	mult := 1e9 // bare numbers are seconds
+	switch {
+	case strings.HasSuffix(s, "ns"):
+		s, mult = strings.TrimSuffix(s, "ns"), 1
+	case strings.HasSuffix(s, "us"):
+		s, mult = strings.TrimSuffix(s, "us"), 1e3
+	case strings.HasSuffix(s, "µs"):
+		s, mult = strings.TrimSuffix(s, "µs"), 1e3
+	case strings.HasSuffix(s, "ms"):
+		s, mult = strings.TrimSuffix(s, "ms"), 1e6
+	case strings.HasSuffix(s, "s"):
+		s, mult = strings.TrimSuffix(s, "s"), 1e9
+	}
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, err
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("negative time %q", s)
+	}
+	return trace.Time(v * mult), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trslice:", err)
+	os.Exit(1)
+}

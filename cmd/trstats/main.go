@@ -1,0 +1,73 @@
+// Command trstats prints a trace's flat profile and detected temporal
+// structure — the quick first look an analyst takes before folding.
+//
+// Usage:
+//
+//	trstats -in stencil.uvt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/burst"
+	"repro/internal/cluster"
+	"repro/internal/profile"
+	"repro/internal/structure"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input trace file (required)")
+		minDur = flag.Float64("min-duration", 50, "burst duration filter in µs")
+	)
+	flag.Parse()
+	if *in == "" {
+		fatal(fmt.Errorf("missing -in"))
+	}
+	tr, err := trace.ReadFile(*in)
+	if err != nil {
+		fatal(err)
+	}
+	st := tr.Stats()
+	fmt.Printf("%s: %d ranks, %.3f s, %d events, %d samples, %d comms\n\n",
+		tr.Meta.App, tr.Meta.Ranks, float64(st.Duration)/1e9, st.Events, st.Samples, st.Comms)
+
+	p, err := profile.Compute(tr)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Print(p.Format())
+
+	its := structure.Iterations(tr)
+	if its.Count > 0 {
+		agree := ""
+		if !its.RanksAgree {
+			agree = " (ranks disagree!)"
+		}
+		fmt.Printf("\niterations: %d%s, mean %.3f ms, CV %.1f%%\n",
+			its.Count, agree, its.MeanDuration/1e6, 100*its.CV)
+	}
+
+	all, err := burst.Extract(tr)
+	if err != nil {
+		fatal(err)
+	}
+	kept, _ := burst.Filter{MinDuration: trace.Time(*minDur * 1e3)}.Apply(all)
+	if len(kept) == 0 {
+		fmt.Println("\nno bursts after filtering — nothing to structure")
+		return
+	}
+	res := cluster.ClusterBursts(kept, cluster.Config{UseIPC: true})
+	fmt.Printf("\n%d bursts in %d phases; repetition structure:\n", len(kept), res.K)
+	for _, l := range structure.DetectLoops(structure.Sequences(kept)) {
+		fmt.Println("  " + l.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "trstats:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,121 @@
+package apps
+
+import (
+	"testing"
+
+	"repro/internal/burst"
+	"repro/internal/counters"
+	"repro/internal/folding"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+func TestWavefrontRuns(t *testing.T) {
+	const ranks, iters = 8, 30
+	app := NewWavefront(iters)
+	tr, err := sim.Run(DefaultTraceConfig(ranks), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bursts, err := burst.Extract(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two sweep blocks per rank per iteration — except the last rank,
+	// which has no MPI call between its forward and backward blocks, so
+	// they merge into one (double-length) burst.
+	blocks := 0
+	for _, b := range bursts {
+		if b.OracleID == 8 {
+			blocks++
+		}
+	}
+	if want := 2*ranks*iters - iters; blocks != want {
+		t.Fatalf("sweep blocks = %d, want %d", blocks, want)
+	}
+}
+
+func TestWavefrontPipelineStagger(t *testing.T) {
+	// The forward sweep serializes the pipeline: rank r's first block
+	// cannot start before rank r-1's first block finished (plus latency).
+	app := NewWavefront(3)
+	cfg := UninstrumentedConfig(4)
+	cfg.Instr.Oracle = true
+	cfg.Instr.EventOverhead = 0
+	tr, err := sim.Run(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bursts, err := burst.Extract(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	firstBlockStart := map[int32]trace.Time{}
+	for _, b := range bursts {
+		if b.OracleID != 8 {
+			continue
+		}
+		if _, ok := firstBlockStart[b.Rank]; !ok {
+			firstBlockStart[b.Rank] = b.Start
+		}
+	}
+	for r := int32(1); r < 4; r++ {
+		if firstBlockStart[r] <= firstBlockStart[r-1] {
+			t.Fatalf("no pipeline stagger: rank %d starts at %d, rank %d at %d",
+				r, firstBlockStart[r], r-1, firstBlockStart[r-1])
+		}
+	}
+}
+
+func TestWavefrontFoldingRecoversSineRate(t *testing.T) {
+	const ranks, iters = 8, 150
+	app := NewWavefront(iters)
+	tr, err := sim.Run(DefaultTraceConfig(ranks), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bursts, err := burst.Extract(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, _ := burst.Filter{MinDuration: 50_000}.Apply(bursts)
+	// All sweep blocks are one phase; build instances directly from the
+	// oracle (this test targets folding, not clustering).
+	attached := burst.AttachSamples(tr, kept)
+	for i := range kept {
+		if kept[i].OracleID == 8 {
+			kept[i].Cluster = 1
+		}
+	}
+	instances := folding.InstancesFromBursts(kept, attached, 1)
+	res, err := folding.Fold(instances, folding.Config{Counter: counters.TotIns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := app.Kernels()[0].ShapeOf(counters.TotIns)
+	if d := res.MeanAbsDiff(truth); d > 0.02 {
+		t.Fatalf("sine-rate fold diff = %.4f", d)
+	}
+	// The rate must actually oscillate: two maxima above and one minimum
+	// below the mean rate.
+	mean := res.MeanTotal / res.MeanDuration
+	above, below := 0, 0
+	prevAbove := res.Rate[5] > mean
+	for i := 6; i < len(res.Rate)-5; i++ {
+		nowAbove := res.Rate[i] > mean
+		if nowAbove != prevAbove {
+			if nowAbove {
+				above++
+			} else {
+				below++
+			}
+			prevAbove = nowAbove
+		}
+	}
+	if above+below < 3 {
+		t.Fatalf("folded rate does not oscillate (crossings=%d)", above+below)
+	}
+}

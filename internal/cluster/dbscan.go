@@ -1,0 +1,153 @@
+// Package cluster implements density-based clustering of computation
+// bursts, following the burst-clustering methodology the paper builds on:
+// bursts are characterized by aggregate metrics (log duration, log
+// completed instructions, IPC), min-max normalized, and grouped with
+// DBSCAN so that each resulting cluster corresponds to one repeated
+// computation phase of the application. A k-means baseline and cluster
+// quality metrics (silhouette) are provided for comparison and reporting.
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// Noise is the assignment id DBSCAN gives to points in no cluster.
+const Noise = 0
+
+// DBSCAN clusters points (rows of equal dimension) with parameters eps
+// (neighborhood radius, Euclidean) and minPts (minimum neighborhood size
+// including the point itself to be a core point). The result assigns
+// cluster ids 1..K in discovery order and Noise (0) to noise points.
+//
+// A uniform grid with cell side eps indexes the points, so neighborhood
+// queries inspect only 3^d adjacent cells; with the 2-3 dimensional,
+// min-max-normalized spaces used for bursts this makes DBSCAN near-linear.
+func DBSCAN(points [][]float64, eps float64, minPts int) []int {
+	n := len(points)
+	if n == 0 {
+		return nil
+	}
+	if eps <= 0 {
+		panic(fmt.Sprintf("cluster: non-positive eps %g", eps))
+	}
+	if minPts < 1 {
+		panic(fmt.Sprintf("cluster: minPts %d < 1", minPts))
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			panic(fmt.Sprintf("cluster: point %d has dimension %d, want %d", i, len(p), dim))
+		}
+	}
+
+	idx := newGridIndex(points, eps)
+	assign := make([]int, n) // 0 = unvisited/noise
+	visited := make([]bool, n)
+	nextCluster := 0
+	var queue []int
+
+	for i := 0; i < n; i++ {
+		if visited[i] {
+			continue
+		}
+		visited[i] = true
+		neighbors := idx.neighbors(i)
+		if len(neighbors) < minPts {
+			continue // noise (may be claimed by a cluster later)
+		}
+		nextCluster++
+		assign[i] = nextCluster
+		queue = append(queue[:0], neighbors...)
+		for qi := 0; qi < len(queue); qi++ {
+			j := queue[qi]
+			if !visited[j] {
+				visited[j] = true
+				jn := idx.neighbors(j)
+				if len(jn) >= minPts {
+					queue = append(queue, jn...)
+				}
+			}
+			if assign[j] == Noise {
+				assign[j] = nextCluster
+			}
+		}
+	}
+	return assign
+}
+
+// gridIndex hashes points into cells of side eps for neighborhood queries.
+type gridIndex struct {
+	points [][]float64
+	eps    float64
+	dim    int
+	cells  map[string][]int
+	keyBuf []int64
+}
+
+func newGridIndex(points [][]float64, eps float64) *gridIndex {
+	g := &gridIndex{
+		points: points,
+		eps:    eps,
+		dim:    len(points[0]),
+		cells:  make(map[string][]int, len(points)),
+		keyBuf: make([]int64, len(points[0])),
+	}
+	for i, p := range points {
+		k := g.cellKey(p, nil)
+		g.cells[k] = append(g.cells[k], i)
+	}
+	return g
+}
+
+// cellKey encodes a point's cell coordinates (plus an optional offset per
+// dimension) as a compact string map key.
+func (g *gridIndex) cellKey(p []float64, off []int64) string {
+	buf := make([]byte, 0, g.dim*9)
+	for d := 0; d < g.dim; d++ {
+		c := int64(math.Floor(p[d] / g.eps))
+		if off != nil {
+			c += off[d]
+		}
+		for b := 0; b < 8; b++ {
+			buf = append(buf, byte(c>>(8*b)))
+		}
+		buf = append(buf, ':')
+	}
+	return string(buf)
+}
+
+// neighbors returns indices of all points within eps of point i, including
+// i itself.
+func (g *gridIndex) neighbors(i int) []int {
+	p := g.points[i]
+	eps2 := g.eps * g.eps
+	var out []int
+	off := make([]int64, g.dim)
+	var walk func(d int)
+	walk = func(d int) {
+		if d == g.dim {
+			for _, j := range g.cells[g.cellKey(p, off)] {
+				if dist2(p, g.points[j]) <= eps2 {
+					out = append(out, j)
+				}
+			}
+			return
+		}
+		for _, o := range [3]int64{-1, 0, 1} {
+			off[d] = o
+			walk(d + 1)
+		}
+	}
+	walk(0)
+	return out
+}
+
+func dist2(a, b []float64) float64 {
+	var s float64
+	for d := range a {
+		diff := a[d] - b[d]
+		s += diff * diff
+	}
+	return s
+}

@@ -1,0 +1,45 @@
+package cluster_test
+
+import (
+	"fmt"
+
+	"repro/internal/burst"
+	"repro/internal/cluster"
+	"repro/internal/counters"
+	"repro/internal/trace"
+)
+
+// ExampleClusterBursts discovers the structure of a burst population with
+// two kinds of computation: many long compute-dense bursts and many short
+// memory-bound ones.
+func ExampleClusterBursts() {
+	var bursts []burst.Burst
+	for i := 0; i < 50; i++ {
+		var d counters.Values
+		d[counters.TotIns] = 40_000_000 + int64(i)*10_000
+		d[counters.TotCyc] = 10_000_000
+		bursts = append(bursts, burst.Burst{
+			Rank:  int32(i % 4),
+			Start: trace.Time(i * 10_000_000),
+			End:   trace.Time(i*10_000_000 + 4_000_000),
+			Delta: d,
+		})
+		var s counters.Values
+		s[counters.TotIns] = 500_000 + int64(i)*1_000
+		s[counters.TotCyc] = 1_250_000
+		bursts = append(bursts, burst.Burst{
+			Rank:  int32(i % 4),
+			Start: trace.Time(i*10_000_000 + 4_500_000),
+			End:   trace.Time(i*10_000_000 + 5_000_000),
+			Delta: s,
+		})
+	}
+	res := cluster.ClusterBursts(bursts, cluster.Config{UseIPC: true})
+	fmt.Printf("clusters: %d\n", res.K)
+	fmt.Printf("cluster of a long burst: %d\n", bursts[0].Cluster)
+	fmt.Printf("cluster of a short burst: %d\n", bursts[1].Cluster)
+	// Output:
+	// clusters: 2
+	// cluster of a long burst: 1
+	// cluster of a short burst: 2
+}

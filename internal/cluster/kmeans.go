@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+)
+
+// KMeans clusters points into k groups with Lloyd's algorithm and
+// k-means++ seeding, as the baseline the burst-clustering line of work
+// compares DBSCAN against (k-means needs k a priori and splits non-convex
+// phases, which is why DBSCAN won). Ids are 1..k; every point is assigned
+// (k-means has no noise concept). The run is deterministic given seed.
+func KMeans(points [][]float64, k int, seed uint64, maxIter int) []int {
+	n := len(points)
+	if n == 0 {
+		return nil
+	}
+	if k < 1 {
+		panic(fmt.Sprintf("cluster: k = %d < 1", k))
+	}
+	if k > n {
+		k = n
+	}
+	if maxIter < 1 {
+		maxIter = 100
+	}
+	dim := len(points[0])
+	rng := rand.New(rand.NewPCG(seed, 0x6b6d65616e73)) // "kmeans"
+
+	// k-means++ seeding.
+	centers := make([][]float64, 0, k)
+	first := rng.IntN(n)
+	centers = append(centers, append([]float64(nil), points[first]...))
+	minD := make([]float64, n)
+	for i := range minD {
+		minD[i] = dist2(points[i], centers[0])
+	}
+	for len(centers) < k {
+		var total float64
+		for _, d := range minD {
+			total += d
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.IntN(n)
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			for i, d := range minD {
+				acc += d
+				if acc >= r {
+					pick = i
+					break
+				}
+			}
+		}
+		c := append([]float64(nil), points[pick]...)
+		centers = append(centers, c)
+		for i := range minD {
+			if d := dist2(points[i], c); d < minD[i] {
+				minD[i] = d
+			}
+		}
+	}
+
+	assign := make([]int, n)
+	counts := make([]int, k)
+	sums := make([][]float64, k)
+	for c := range sums {
+		sums[c] = make([]float64, dim)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		changed := false
+		for i, p := range points {
+			best, bestD := 0, math.Inf(1)
+			for c, ctr := range centers {
+				if d := dist2(p, ctr); d < bestD {
+					bestD, best = d, c
+				}
+			}
+			if assign[i] != best+1 {
+				assign[i] = best + 1
+				changed = true
+			}
+		}
+		if !changed && iter > 0 {
+			break
+		}
+		for c := range centers {
+			counts[c] = 0
+			for d := range sums[c] {
+				sums[c][d] = 0
+			}
+		}
+		for i, p := range points {
+			c := assign[i] - 1
+			counts[c]++
+			for d := range p {
+				sums[c][d] += p[d]
+			}
+		}
+		for c := range centers {
+			if counts[c] == 0 {
+				continue // keep the old center for empty clusters
+			}
+			for d := range centers[c] {
+				centers[c][d] = sums[c][d] / float64(counts[c])
+			}
+		}
+	}
+	return assign
+}

@@ -1,0 +1,450 @@
+// Package core is the analysis pipeline — the public entry point a tool
+// user drives. Analyze consumes a trace and produces, per detected
+// computation phase: the folded internal evolution of each hardware
+// counter, the folded call-stack view, per-rank balance statistics, and
+// heuristic performance advice, mirroring the paper's automated
+// methodology (burst clustering for structure detection + folding for
+// fine-grain insight).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/burst"
+	"repro/internal/cluster"
+	"repro/internal/counters"
+	"repro/internal/folding"
+	"repro/internal/profile"
+	"repro/internal/structure"
+	"repro/internal/trace"
+)
+
+// Options parameterizes the pipeline. The zero value selects sensible
+// defaults for every knob.
+type Options struct {
+	// MinBurstDuration filters bursts shorter than this before clustering
+	// (default 50 µs).
+	MinBurstDuration trace.Time
+	// Cluster configures burst clustering.
+	Cluster cluster.Config
+	// Fold configures folding; Fold.Counter is ignored (Counters below
+	// selects what is folded).
+	Fold folding.Config
+	// Counters lists the counters to fold per phase (default TOT_INS,
+	// FP_OPS, L1_DCM, L2_DCM).
+	Counters []counters.Counter
+	// StackBins sets the call-stack folding resolution (default 50).
+	StackBins int
+	// MaxPhases bounds how many clusters (by total time) are analyzed in
+	// depth (default 5).
+	MaxPhases int
+}
+
+func (o *Options) setDefaults() {
+	if o.MinBurstDuration == 0 {
+		o.MinBurstDuration = 50_000
+	}
+	if len(o.Counters) == 0 {
+		o.Counters = []counters.Counter{
+			counters.TotIns, counters.FPOps, counters.L1DCM, counters.L2DCM,
+		}
+	}
+	if o.StackBins == 0 {
+		o.StackBins = 50
+	}
+	if o.MaxPhases == 0 {
+		o.MaxPhases = 5
+	}
+	// The pipeline always clusters in the full 3-D space (log duration,
+	// log instructions, IPC); experiments wanting 2-D call the cluster
+	// package directly.
+	o.Cluster.UseIPC = true
+}
+
+// Phase is the analysis of one detected computation phase (cluster).
+type Phase struct {
+	// ClusterID is the phase's cluster id (1 = most computation time).
+	ClusterID int
+	// Instances is the number of burst instances in the phase.
+	Instances int
+	// FoldInstances retains the folding instances (bursts + attached
+	// samples) so callers can re-fold with different configurations
+	// (ablations) without re-running the pipeline.
+	FoldInstances []folding.Instance
+	// TotalTime is the summed duration of all instances.
+	TotalTime trace.Time
+	// MeanDuration is the mean instance duration in ns.
+	MeanDuration float64
+	// MeanIPC is the mean instructions-per-cycle over instances.
+	MeanIPC float64
+	// Folds maps each requested counter to its folded reconstruction;
+	// counters that could not be folded are listed in FoldErrors instead.
+	Folds map[counters.Counter]*folding.Result
+	// FoldErrors records per-counter folding failures (e.g. a counter
+	// that never increments in this phase).
+	FoldErrors map[counters.Counter]error
+	// Stacks is the folded call-stack view (nil when no samples carry
+	// stacks).
+	Stacks *folding.StackResult
+	// RankMeanDuration is each rank's mean instance duration (ns); 0 for
+	// ranks with no instances.
+	RankMeanDuration []float64
+	// ImbalanceFactor is max over ranks of RankMeanDuration divided by
+	// the mean (1 = perfectly balanced).
+	ImbalanceFactor float64
+	// MajorityOracle and OraclePurity validate clustering against ground
+	// truth when the trace carries oracle events: the most common true
+	// kernel id among instances and the fraction of instances having it.
+	MajorityOracle int64
+	OraclePurity   float64
+	// Advice lists heuristic performance observations for this phase.
+	Advice []string
+}
+
+// Report is the full analysis of a trace.
+type Report struct {
+	// App is the traced application name.
+	App string
+	// Ranks is the rank count.
+	Ranks int
+	// Bursts is the number of bursts extracted; Filtered the number
+	// dropped by the duration filter.
+	Bursts, Filtered int
+	// CoverageKept is the fraction of computation time the filter kept.
+	CoverageKept float64
+	// Clustering is the raw clustering result over the kept bursts.
+	Clustering cluster.Result
+	// ClusterTimeCoverage is the fraction of kept burst time inside
+	// non-noise clusters.
+	ClusterTimeCoverage float64
+	// Profile is the flat MPI/compute profile of the trace.
+	Profile *profile.Profile
+	// Iterations summarizes the main-loop iteration markers.
+	Iterations structure.IterationStats
+	// Loops is the detected per-rank repetition structure of the phase
+	// sequence (folding's "iterative application" precondition, verified).
+	Loops []structure.Loop
+	// SPMDScore is the cross-rank phase-sequence consistency (1 = all
+	// ranks execute identical sequences).
+	SPMDScore float64
+	// Phases analyzes the top clusters by total time.
+	Phases []Phase
+}
+
+// Analyze runs the full pipeline on a trace.
+func Analyze(tr *trace.Trace, opts Options) (*Report, error) {
+	opts.setDefaults()
+	if err := tr.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+
+	all, err := burst.Extract(tr)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	kept, _ := burst.Filter{MinDuration: opts.MinBurstDuration}.Apply(all)
+	rep := &Report{
+		App:          tr.Meta.App,
+		Ranks:        tr.Meta.Ranks,
+		Bursts:       len(all),
+		Filtered:     len(all) - len(kept),
+		CoverageKept: burst.Coverage(kept, all),
+	}
+	if p, err := profile.Compute(tr); err == nil {
+		rep.Profile = p
+	}
+	rep.Iterations = structure.Iterations(tr)
+	if len(kept) == 0 {
+		return rep, nil
+	}
+
+	rep.Clustering = cluster.ClusterBursts(kept, opts.Cluster)
+	rep.ClusterTimeCoverage = cluster.ClusterTimeCoverage(kept, rep.Clustering.Assign)
+	seqs := structure.Sequences(kept)
+	rep.Loops = structure.DetectLoops(seqs)
+	rep.SPMDScore = structure.SPMDScore(seqs)
+
+	attached := burst.AttachSamples(tr, kept)
+	nPhases := rep.Clustering.K
+	if nPhases > opts.MaxPhases {
+		nPhases = opts.MaxPhases
+	}
+	for cid := 1; cid <= nPhases; cid++ {
+		instances := folding.InstancesFromBursts(kept, attached, cid)
+		ph := analyzePhase(tr, kept, instances, cid, opts)
+		rep.Phases = append(rep.Phases, ph)
+	}
+	return rep, nil
+}
+
+func analyzePhase(tr *trace.Trace, kept []burst.Burst, instances []folding.Instance, cid int, opts Options) Phase {
+	ph := Phase{
+		ClusterID:     cid,
+		Instances:     len(instances),
+		FoldInstances: instances,
+		Folds:         make(map[counters.Counter]*folding.Result),
+		FoldErrors:    make(map[counters.Counter]error),
+	}
+
+	// Aggregate statistics and oracle purity from the member bursts.
+	oracleCount := map[int64]int{}
+	var ipcSum float64
+	rankSum := make([]float64, tr.Meta.Ranks)
+	rankN := make([]int, tr.Meta.Ranks)
+	for i := range kept {
+		if kept[i].Cluster != cid {
+			continue
+		}
+		d := kept[i].Duration()
+		ph.TotalTime += d
+		ipcSum += kept[i].IPC()
+		rankSum[kept[i].Rank] += float64(d)
+		rankN[kept[i].Rank]++
+		if kept[i].OracleID != 0 {
+			oracleCount[kept[i].OracleID]++
+		}
+	}
+	if ph.Instances > 0 {
+		ph.MeanDuration = float64(ph.TotalTime) / float64(ph.Instances)
+		ph.MeanIPC = ipcSum / float64(ph.Instances)
+	}
+	ph.RankMeanDuration = make([]float64, tr.Meta.Ranks)
+	var rankMeanSum float64
+	var rankCount int
+	maxRank := 0.0
+	for r := range rankSum {
+		if rankN[r] > 0 {
+			ph.RankMeanDuration[r] = rankSum[r] / float64(rankN[r])
+			rankMeanSum += ph.RankMeanDuration[r]
+			rankCount++
+			if ph.RankMeanDuration[r] > maxRank {
+				maxRank = ph.RankMeanDuration[r]
+			}
+		}
+	}
+	if rankCount > 0 && rankMeanSum > 0 {
+		ph.ImbalanceFactor = maxRank / (rankMeanSum / float64(rankCount))
+	}
+	totalOracle := 0
+	for id, n := range oracleCount {
+		totalOracle += n
+		if n > oracleCount[ph.MajorityOracle] {
+			ph.MajorityOracle = id
+		}
+	}
+	if totalOracle > 0 {
+		ph.OraclePurity = float64(oracleCount[ph.MajorityOracle]) / float64(totalOracle)
+	}
+
+	// Fold every requested counter.
+	for _, c := range opts.Counters {
+		cfg := opts.Fold
+		cfg.Counter = c
+		res, err := folding.Fold(instances, cfg)
+		if err != nil {
+			ph.FoldErrors[c] = err
+			continue
+		}
+		ph.Folds[c] = res
+	}
+
+	// Fold call stacks.
+	st := folding.FoldStacks(instances, opts.StackBins)
+	if st.Samples > 0 {
+		ph.Stacks = st
+	}
+
+	ph.Advice = advise(tr, &ph)
+	return ph
+}
+
+// advise derives heuristic performance observations from a phase analysis,
+// the kind of suggestions the paper draws from folded views.
+func advise(tr *trace.Trace, ph *Phase) []string {
+	var out []string
+
+	if ph.ImbalanceFactor > 1.15 {
+		out = append(out, fmt.Sprintf(
+			"load imbalance: slowest rank averages %.0f%% of the mean instance duration — consider repartitioning",
+			100*ph.ImbalanceFactor))
+	}
+
+	if f, ok := ph.Folds[counters.L1DCM]; ok {
+		if front := f.Cumulative[len(f.Cumulative)/5]; front > 0.4 {
+			out = append(out, fmt.Sprintf(
+				"cache warm-up: %.0f%% of L1 misses occur in the first 20%% of the phase — blocking or software prefetch may help",
+				100*front))
+		}
+	}
+	if f, ok := ph.Folds[counters.L2DCM]; ok {
+		if front := f.Cumulative[len(f.Cumulative)/5]; front > 0.4 {
+			out = append(out, fmt.Sprintf(
+				"working-set establishment: %.0f%% of L2 misses occur in the first 20%% of the phase",
+				100*front))
+		}
+	}
+
+	if f, ok := ph.Folds[counters.TotIns]; ok && len(f.Breakpoints) > 0 {
+		out = append(out, fmt.Sprintf(
+			"internal structure: instruction rate changes at normalized time %s — the phase hides %d sub-phases",
+			formatBreaks(f.Breakpoints), len(f.Breakpoints)+1))
+		// Identify the slowest sub-phase by mean rate between breakpoints.
+		lo := 0.0
+		edges := append(append([]float64{}, f.Breakpoints...), 1)
+		slowLo, slowHi, slowRate := 0.0, 1.0, math.Inf(1)
+		for _, hi := range edges {
+			r := meanRateBetween(f, lo, hi)
+			if r < slowRate {
+				slowRate, slowLo, slowHi = r, lo, hi
+			}
+			lo = hi
+		}
+		overall := f.MeanTotal / f.MeanDuration
+		if slowRate < 0.6*overall {
+			out = append(out, fmt.Sprintf(
+				"bottleneck sub-phase: [%.2f, %.2f] runs at %.0f%% of the phase's mean instruction rate — a memory-bound candidate",
+				slowLo, slowHi, 100*slowRate/overall))
+		}
+	}
+
+	if ph.Stacks != nil {
+		if trs := ph.Stacks.Transitions(); len(trs) > 0 {
+			names := make([]string, 0, len(ph.Stacks.Regions))
+			for _, id := range ph.Stacks.Regions {
+				names = append(names, tr.Meta.RegionName(id))
+			}
+			out = append(out, fmt.Sprintf(
+				"call-stack folding attributes the phase to %d regions (%s) with transitions at %s",
+				len(names), joinMax(names, 4), formatBreaks(trs)))
+		}
+		// Combined attribution: which region retires the instructions, and
+		// is its instruction share out of line with its time share?
+		if f, ok := ph.Folds[counters.TotIns]; ok {
+			attr := folding.AttributeRegions(f, ph.Stacks)
+			timeShare := regionTimeShares(ph.Stacks)
+			for _, id := range ph.Stacks.Regions {
+				ins, tm := attr[id], timeShare[id]
+				if tm > 0.1 && ins > 0 && ins < 0.6*tm {
+					out = append(out, fmt.Sprintf(
+						"region %s retires %.0f%% of the instructions in %.0f%% of the time — the phase's low-efficiency stretch",
+						tr.Meta.RegionName(id), 100*ins, 100*tm))
+				}
+			}
+		}
+	}
+
+	// Derived-metric evolution: a rising misses-per-kilo-instruction curve
+	// inside the phase means its tail is increasingly memory-bound.
+	if fi, fm := ph.Folds[counters.TotIns], ph.Folds[counters.L1DCM]; fi != nil && fm != nil {
+		if mki, err := folding.RatioCurve(fm, fi, 1000); err == nil {
+			front := meanFinite(mki[:len(mki)/4])
+			back := meanFinite(mki[3*len(mki)/4:])
+			if front > 0 && back > 2*front {
+				out = append(out, fmt.Sprintf(
+					"memory pressure grows inside the phase: MKI rises from %.1f to %.1f — data reuse degrades toward the end",
+					front, back))
+			}
+		}
+	}
+
+	// Coverage diagnostics: warn when the folded positions betray a
+	// sampling clock correlated with the phase (the reconstruction would
+	// interpolate blindly across the gaps).
+	for c, f := range ph.Folds {
+		if d := f.Diagnose(); d.SuspectAliasing {
+			out = append(out, fmt.Sprintf(
+				"warning: %s fold coverage is non-uniform (KS %.2f, max gap %.0f%% of the axis) — sampling may be correlated with phase starts; change the period or add jitter",
+				c, d.KS, 100*d.MaxGap))
+			break // one warning suffices; all counters share positions
+		}
+	}
+
+	if ph.OraclePurity > 0 && ph.OraclePurity < 0.9 {
+		out = append(out, fmt.Sprintf(
+			"warning: cluster mixes kernels (oracle purity %.0f%%) — consider tightening clustering parameters",
+			100*ph.OraclePurity))
+	}
+	return out
+}
+
+func meanFinite(xs []float64) float64 {
+	var sum float64
+	n := 0
+	for _, x := range xs {
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			sum += x
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// regionTimeShares returns each region's fraction of the phase's stack
+// samples — a proxy for its share of the phase's time.
+func regionTimeShares(st *folding.StackResult) map[uint32]float64 {
+	out := make(map[uint32]float64, len(st.Regions))
+	if st.Bins == 0 {
+		return out
+	}
+	occupied := 0
+	for b := 0; b < st.Bins; b++ {
+		if st.Dominant[b] != 0 {
+			occupied++
+		}
+	}
+	if occupied == 0 {
+		return out
+	}
+	for b := 0; b < st.Bins; b++ {
+		for ri, id := range st.Regions {
+			out[id] += st.Share[b][ri] / float64(occupied)
+		}
+	}
+	return out
+}
+
+func meanRateBetween(f *folding.Result, lo, hi float64) float64 {
+	var sum float64
+	var n int
+	for i, x := range f.Grid {
+		if x >= lo && x <= hi {
+			sum += f.Rate[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func formatBreaks(bs []float64) string {
+	s := ""
+	for i, b := range bs {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%.2f", b)
+	}
+	return s
+}
+
+func joinMax(names []string, max int) string {
+	sort.Strings(names)
+	if len(names) > max {
+		names = names[:max]
+	}
+	s := ""
+	for i, n := range names {
+		if i > 0 {
+			s += ", "
+		}
+		s += n
+	}
+	return s
+}

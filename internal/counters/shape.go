@@ -1,0 +1,324 @@
+package counters
+
+import (
+	"fmt"
+	"math"
+)
+
+// Shape describes the normalized internal evolution of one metric within a
+// single instance of a computation phase. The domain is normalized time
+// u ∈ [0,1] (fraction of the instance elapsed); the codomain is normalized
+// progress: Integral(0) = 0, Integral(1) = 1, and Rate(u) = d Integral/du ≥ 0.
+//
+// A phase that accrues C total counts over duration d therefore has
+// counter value C·Integral(t/d) after t time units, and instantaneous rate
+// C/d·Rate(t/d). Shapes are the analytic ground truth against which the
+// folding reconstruction is validated.
+//
+// Implementations must be pure functions of u; callers may clamp u into
+// [0,1] but implementations must also tolerate slight excursions due to
+// floating-point roundoff.
+type Shape interface {
+	// Rate returns the normalized instantaneous rate at progress u.
+	Rate(u float64) float64
+	// Integral returns the cumulative fraction accrued in [0, u].
+	Integral(u float64) float64
+}
+
+func clamp01(u float64) float64 {
+	if u < 0 {
+		return 0
+	}
+	if u > 1 {
+		return 1
+	}
+	return u
+}
+
+// ---------------------------------------------------------------------------
+// Constant
+
+type constantShape struct{}
+
+// Constant returns the flat shape: the metric accrues uniformly over the
+// instance (Rate ≡ 1).
+func Constant() Shape { return constantShape{} }
+
+func (constantShape) Rate(u float64) float64     { return 1 }
+func (constantShape) Integral(u float64) float64 { return clamp01(u) }
+
+func (constantShape) String() string { return "constant" }
+
+// ---------------------------------------------------------------------------
+// Linear
+
+type linearShape struct {
+	r0, r1 float64 // normalized endpoint rates; (r0+r1)/2 == 1
+}
+
+// Linear returns a shape whose rate varies linearly from r0 at the start of
+// the instance to r1 at the end. r0 and r1 are relative weights: only their
+// ratio matters, the shape is normalized so Integral(1) = 1. It panics if
+// either endpoint is negative or both are zero.
+func Linear(r0, r1 float64) Shape {
+	if r0 < 0 || r1 < 0 || (r0 == 0 && r1 == 0) {
+		panic(fmt.Sprintf("counters: invalid Linear endpoints (%g, %g)", r0, r1))
+	}
+	mean := (r0 + r1) / 2
+	return linearShape{r0: r0 / mean, r1: r1 / mean}
+}
+
+func (s linearShape) Rate(u float64) float64 {
+	u = clamp01(u)
+	return s.r0 + (s.r1-s.r0)*u
+}
+
+func (s linearShape) Integral(u float64) float64 {
+	u = clamp01(u)
+	return s.r0*u + (s.r1-s.r0)*u*u/2
+}
+
+func (s linearShape) String() string { return fmt.Sprintf("linear(%g→%g)", s.r0, s.r1) }
+
+// ---------------------------------------------------------------------------
+// Sine
+
+type sineShape struct {
+	amp    float64 // relative amplitude in [0,1)
+	cycles float64 // number of full periods across the instance
+	norm   float64 // 1 / Integral_raw(1)
+}
+
+// Sine returns a shape whose rate oscillates as 1 + amp·sin(2π·cycles·u),
+// modelling periodic behaviour inside a phase (e.g. alternating sweep
+// directions). amp must be in [0, 1) so the rate stays positive; cycles
+// must be positive. Non-integer cycle counts are allowed; the shape is
+// re-normalized so Integral(1) = 1.
+func Sine(amp, cycles float64) Shape {
+	if amp < 0 || amp >= 1 {
+		panic(fmt.Sprintf("counters: Sine amplitude %g out of [0,1)", amp))
+	}
+	if cycles <= 0 {
+		panic(fmt.Sprintf("counters: Sine cycles %g must be positive", cycles))
+	}
+	s := sineShape{amp: amp, cycles: cycles, norm: 1}
+	s.norm = 1 / s.rawIntegral(1)
+	return s
+}
+
+func (s sineShape) rawIntegral(u float64) float64 {
+	w := 2 * math.Pi * s.cycles
+	return u - s.amp/w*(math.Cos(w*u)-1)
+}
+
+func (s sineShape) Rate(u float64) float64 {
+	u = clamp01(u)
+	return s.norm * (1 + s.amp*math.Sin(2*math.Pi*s.cycles*u))
+}
+
+func (s sineShape) Integral(u float64) float64 {
+	u = clamp01(u)
+	return s.norm * s.rawIntegral(u)
+}
+
+func (s sineShape) String() string { return fmt.Sprintf("sine(amp=%g,cycles=%g)", s.amp, s.cycles) }
+
+// ---------------------------------------------------------------------------
+// ExpDecay
+
+type expDecayShape struct {
+	ratio, tau float64
+	norm       float64
+}
+
+// ExpDecay returns a shape whose rate starts elevated by a factor
+// (1 + ratio) and decays exponentially with time constant tau (in normalized
+// time) towards the base rate — the classic cache-warm-up profile where
+// misses (or stalls) are concentrated at the beginning of the phase.
+// ratio must be > -1 (a negative ratio models a rate that *grows* as the
+// phase proceeds); tau must be positive.
+func ExpDecay(ratio, tau float64) Shape {
+	if ratio <= -1 {
+		panic(fmt.Sprintf("counters: ExpDecay ratio %g must be > -1", ratio))
+	}
+	if tau <= 0 {
+		panic(fmt.Sprintf("counters: ExpDecay tau %g must be positive", tau))
+	}
+	s := expDecayShape{ratio: ratio, tau: tau, norm: 1}
+	s.norm = 1 / s.rawIntegral(1)
+	return s
+}
+
+func (s expDecayShape) rawIntegral(u float64) float64 {
+	return u + s.ratio*s.tau*(1-math.Exp(-u/s.tau))
+}
+
+func (s expDecayShape) Rate(u float64) float64 {
+	u = clamp01(u)
+	return s.norm * (1 + s.ratio*math.Exp(-u/s.tau))
+}
+
+func (s expDecayShape) Integral(u float64) float64 {
+	u = clamp01(u)
+	return s.norm * s.rawIntegral(u)
+}
+
+func (s expDecayShape) String() string {
+	return fmt.Sprintf("expdecay(ratio=%g,tau=%g)", s.ratio, s.tau)
+}
+
+// ---------------------------------------------------------------------------
+// Piecewise
+
+// Segment is one stretch of a Piecewise shape. Width is the fraction of the
+// normalized time axis the segment occupies; Area is the fraction of the
+// total metric accrued during the segment; Shape describes the evolution
+// within the segment (itself normalized). A compute-bound sub-phase followed
+// by a memory-bound one is expressed as two segments with different
+// Area/Width ratios.
+type Segment struct {
+	Width float64
+	Area  float64
+	Shape Shape
+}
+
+type piecewiseShape struct {
+	segs   []Segment
+	uEdges []float64 // cumulative widths, len = len(segs)+1
+	aEdges []float64 // cumulative areas, len = len(segs)+1
+}
+
+// Piecewise composes segments into a single shape. Widths and areas are
+// relative weights and are normalized to sum to 1. Each segment's Shape
+// defaults to Constant when nil. It panics when no segments are given or
+// any weight is non-positive.
+func Piecewise(segs ...Segment) Shape {
+	if len(segs) == 0 {
+		panic("counters: Piecewise needs at least one segment")
+	}
+	var wSum, aSum float64
+	for i, s := range segs {
+		if s.Width <= 0 || s.Area <= 0 {
+			panic(fmt.Sprintf("counters: Piecewise segment %d has non-positive weight (width=%g area=%g)", i, s.Width, s.Area))
+		}
+		wSum += s.Width
+		aSum += s.Area
+	}
+	p := piecewiseShape{
+		segs:   make([]Segment, len(segs)),
+		uEdges: make([]float64, len(segs)+1),
+		aEdges: make([]float64, len(segs)+1),
+	}
+	for i, s := range segs {
+		if s.Shape == nil {
+			s.Shape = Constant()
+		}
+		s.Width /= wSum
+		s.Area /= aSum
+		p.segs[i] = s
+		p.uEdges[i+1] = p.uEdges[i] + s.Width
+		p.aEdges[i+1] = p.aEdges[i] + s.Area
+	}
+	// Absorb roundoff so the final edges are exactly 1.
+	p.uEdges[len(segs)] = 1
+	p.aEdges[len(segs)] = 1
+	return p
+}
+
+// segAt locates the segment containing u by binary search.
+func (p piecewiseShape) segAt(u float64) int {
+	lo, hi := 0, len(p.segs)-1
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if p.uEdges[mid] <= u {
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return lo
+}
+
+func (p piecewiseShape) Rate(u float64) float64 {
+	u = clamp01(u)
+	i := p.segAt(u)
+	s := p.segs[i]
+	local := (u - p.uEdges[i]) / s.Width
+	return s.Area / s.Width * s.Shape.Rate(local)
+}
+
+func (p piecewiseShape) Integral(u float64) float64 {
+	u = clamp01(u)
+	i := p.segAt(u)
+	s := p.segs[i]
+	local := (u - p.uEdges[i]) / s.Width
+	return p.aEdges[i] + s.Area*s.Shape.Integral(local)
+}
+
+func (p piecewiseShape) String() string { return fmt.Sprintf("piecewise(%d segments)", len(p.segs)) }
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+// MeanAbsDiff returns the mean absolute difference between the integrals of
+// two shapes, evaluated on a uniform grid of n+1 points. It is the metric
+// the paper uses to compare folded reconstructions against references
+// ("absolute mean difference"), expressed as a fraction of the total (so
+// 0.05 ≡ 5%).
+func MeanAbsDiff(a, b Shape, n int) float64 {
+	if n < 1 {
+		n = 100
+	}
+	var sum float64
+	for i := 0; i <= n; i++ {
+		u := float64(i) / float64(n)
+		sum += math.Abs(a.Integral(u) - b.Integral(u))
+	}
+	return sum / float64(n+1)
+}
+
+// TableShape adapts a sampled cumulative curve (uniform grid over [0,1],
+// ys[0] = 0, ys[len-1] = 1 expected) into a Shape using linear
+// interpolation. It is used to wrap empirical reconstructions for
+// comparison with analytic ground truth.
+type TableShape struct {
+	ys []float64
+}
+
+// NewTableShape builds a TableShape from cumulative values on a uniform
+// grid. It panics when fewer than two points are provided.
+func NewTableShape(ys []float64) *TableShape {
+	if len(ys) < 2 {
+		panic("counters: TableShape needs at least 2 points")
+	}
+	cp := append([]float64(nil), ys...)
+	return &TableShape{ys: cp}
+}
+
+// Integral linearly interpolates the tabulated cumulative curve.
+func (t *TableShape) Integral(u float64) float64 {
+	u = clamp01(u)
+	n := len(t.ys) - 1
+	pos := u * float64(n)
+	i := int(pos)
+	if i >= n {
+		return t.ys[n]
+	}
+	frac := pos - float64(i)
+	return t.ys[i]*(1-frac) + t.ys[i+1]*frac
+}
+
+// Rate differentiates the tabulated curve with a central difference.
+func (t *TableShape) Rate(u float64) float64 {
+	n := len(t.ys) - 1
+	h := 1 / float64(n)
+	u = clamp01(u)
+	lo, hi := u-h/2, u+h/2
+	if lo < 0 {
+		lo, hi = 0, h
+	}
+	if hi > 1 {
+		lo, hi = 1-h, 1
+	}
+	return (t.Integral(hi) - t.Integral(lo)) / (hi - lo)
+}

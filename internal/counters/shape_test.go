@@ -1,0 +1,300 @@
+package counters
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// allShapes returns a representative set of shapes for property tests.
+func allShapes() map[string]Shape {
+	return map[string]Shape{
+		"constant":      Constant(),
+		"linear-up":     Linear(0.5, 1.5),
+		"linear-down":   Linear(2, 0.5),
+		"linear-zero0":  Linear(0, 2),
+		"sine-1cycle":   Sine(0.5, 1),
+		"sine-3.5cycle": Sine(0.9, 3.5),
+		"expdecay":      ExpDecay(3, 0.1),
+		"expgrow":       ExpDecay(-0.8, 0.3),
+		"piecewise": Piecewise(
+			Segment{Width: 0.3, Area: 0.5, Shape: Linear(1, 2)},
+			Segment{Width: 0.5, Area: 0.2, Shape: Constant()},
+			Segment{Width: 0.2, Area: 0.3, Shape: ExpDecay(2, 0.2)},
+		),
+		"piecewise-nested": Piecewise(
+			Segment{Width: 1, Area: 1, Shape: Piecewise(
+				Segment{Width: 1, Area: 2},
+				Segment{Width: 2, Area: 1},
+			)},
+			Segment{Width: 1, Area: 1, Shape: Sine(0.3, 2)},
+		),
+	}
+}
+
+func TestShapeBoundaryConditions(t *testing.T) {
+	for name, s := range allShapes() {
+		if got := s.Integral(0); math.Abs(got) > 1e-12 {
+			t.Errorf("%s: Integral(0) = %g, want 0", name, got)
+		}
+		if got := s.Integral(1); math.Abs(got-1) > 1e-12 {
+			t.Errorf("%s: Integral(1) = %g, want 1", name, got)
+		}
+		// Out-of-range arguments clamp.
+		if got := s.Integral(-0.5); math.Abs(got) > 1e-12 {
+			t.Errorf("%s: Integral(-0.5) = %g, want 0", name, got)
+		}
+		if got := s.Integral(1.5); math.Abs(got-1) > 1e-12 {
+			t.Errorf("%s: Integral(1.5) = %g, want 1", name, got)
+		}
+	}
+}
+
+func TestShapeIntegralMonotone(t *testing.T) {
+	for name, s := range allShapes() {
+		prev := s.Integral(0)
+		for i := 1; i <= 1000; i++ {
+			u := float64(i) / 1000
+			cur := s.Integral(u)
+			if cur < prev-1e-12 {
+				t.Fatalf("%s: Integral not monotone at u=%g: %g < %g", name, u, cur, prev)
+			}
+			prev = cur
+		}
+	}
+}
+
+func TestShapeRateNonNegative(t *testing.T) {
+	for name, s := range allShapes() {
+		for i := 0; i <= 1000; i++ {
+			u := float64(i) / 1000
+			if r := s.Rate(u); r < -1e-12 {
+				t.Fatalf("%s: Rate(%g) = %g < 0", name, u, r)
+			}
+		}
+	}
+}
+
+// TestShapeRateIsDerivative checks Rate ≈ d/du Integral numerically.
+func TestShapeRateIsDerivative(t *testing.T) {
+	const h = 1e-6
+	for name, s := range allShapes() {
+		for i := 1; i < 100; i++ {
+			u := float64(i) / 100
+			if u-h < 0 || u+h > 1 {
+				continue
+			}
+			num := (s.Integral(u+h) - s.Integral(u-h)) / (2 * h)
+			got := s.Rate(u)
+			// Piecewise shapes have rate discontinuities at segment edges.
+			if math.Abs(num-got) > 1e-3*(1+math.Abs(got)) {
+				// Tolerate mismatch only immediately around an edge.
+				numL := (s.Integral(u) - s.Integral(u-h)) / h
+				numR := (s.Integral(u+h) - s.Integral(u)) / h
+				if math.Abs(numL-got) > 1e-3*(1+math.Abs(got)) && math.Abs(numR-got) > 1e-3*(1+math.Abs(got)) {
+					t.Fatalf("%s: Rate(%g) = %g but numeric derivative = %g", name, u, got, num)
+				}
+			}
+		}
+	}
+}
+
+func TestConstantShape(t *testing.T) {
+	s := Constant()
+	if s.Rate(0.3) != 1 || s.Integral(0.3) != 0.3 {
+		t.Fatalf("Constant: rate=%g integral=%g", s.Rate(0.3), s.Integral(0.3))
+	}
+}
+
+func TestLinearShapeKnownValues(t *testing.T) {
+	// Linear(0,2): normalized rate goes 0→2, integral = u².
+	s := Linear(0, 2)
+	for _, u := range []float64{0, 0.25, 0.5, 1} {
+		if got := s.Integral(u); math.Abs(got-u*u) > 1e-12 {
+			t.Fatalf("Linear(0,2).Integral(%g) = %g, want %g", u, got, u*u)
+		}
+	}
+	if got := s.Rate(0.5); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Linear(0,2).Rate(0.5) = %g, want 1", got)
+	}
+}
+
+func TestLinearNormalization(t *testing.T) {
+	// Only the ratio of endpoints matters.
+	a, b := Linear(1, 3), Linear(10, 30)
+	for i := 0; i <= 10; i++ {
+		u := float64(i) / 10
+		if math.Abs(a.Integral(u)-b.Integral(u)) > 1e-12 {
+			t.Fatalf("Linear normalization differs at u=%g", u)
+		}
+	}
+}
+
+func TestShapeConstructorPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"linear-negative":    func() { Linear(-1, 2) },
+		"linear-both-zero":   func() { Linear(0, 0) },
+		"sine-amp-too-big":   func() { Sine(1, 2) },
+		"sine-neg-amp":       func() { Sine(-0.1, 2) },
+		"sine-zero-cycles":   func() { Sine(0.5, 0) },
+		"expdecay-ratio":     func() { ExpDecay(-1, 0.5) },
+		"expdecay-tau":       func() { ExpDecay(1, 0) },
+		"piecewise-empty":    func() { Piecewise() },
+		"piecewise-zero-w":   func() { Piecewise(Segment{Width: 0, Area: 1}) },
+		"piecewise-zero-a":   func() { Piecewise(Segment{Width: 1, Area: 0}) },
+		"tableshape-tooFew":  func() { NewTableShape([]float64{1}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSineIntegerCyclesMeanRateOne(t *testing.T) {
+	// With integer cycles the sine integrates away, so normalization should
+	// be the identity: Rate(0) == 1 exactly (sin(0) = 0).
+	s := Sine(0.7, 4)
+	if got := s.Rate(0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Sine(0.7,4).Rate(0) = %g, want 1", got)
+	}
+}
+
+func TestExpDecayFrontLoaded(t *testing.T) {
+	s := ExpDecay(5, 0.15)
+	// More than half the metric accrues in the first third.
+	if got := s.Integral(1.0 / 3); got <= 0.5 {
+		t.Fatalf("ExpDecay front-load: Integral(1/3) = %g, want > 0.5", got)
+	}
+	if s.Rate(0) <= s.Rate(1) {
+		t.Fatalf("ExpDecay rate should decrease: r(0)=%g r(1)=%g", s.Rate(0), s.Rate(1))
+	}
+}
+
+func TestExpGrowBackLoaded(t *testing.T) {
+	s := ExpDecay(-0.9, 0.3)
+	if s.Rate(0) >= s.Rate(1) {
+		t.Fatalf("negative-ratio ExpDecay should grow: r(0)=%g r(1)=%g", s.Rate(0), s.Rate(1))
+	}
+}
+
+func TestPiecewiseAreaSplit(t *testing.T) {
+	// 30% of time carries 70% of the work.
+	s := Piecewise(
+		Segment{Width: 0.3, Area: 0.7},
+		Segment{Width: 0.7, Area: 0.3},
+	)
+	if got := s.Integral(0.3); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("Integral(0.3) = %g, want 0.7", got)
+	}
+	// Rate in first segment = 0.7/0.3, second = 0.3/0.7.
+	if got := s.Rate(0.1); math.Abs(got-0.7/0.3) > 1e-12 {
+		t.Fatalf("Rate(0.1) = %g, want %g", got, 0.7/0.3)
+	}
+	if got := s.Rate(0.9); math.Abs(got-0.3/0.7) > 1e-12 {
+		t.Fatalf("Rate(0.9) = %g, want %g", got, 0.3/0.7)
+	}
+}
+
+func TestPiecewiseWeightNormalization(t *testing.T) {
+	a := Piecewise(Segment{Width: 1, Area: 3}, Segment{Width: 1, Area: 1})
+	b := Piecewise(Segment{Width: 10, Area: 75}, Segment{Width: 10, Area: 25})
+	for i := 0; i <= 20; i++ {
+		u := float64(i) / 20
+		if math.Abs(a.Integral(u)-b.Integral(u)) > 1e-12 {
+			t.Fatalf("piecewise weight normalization differs at u=%g", u)
+		}
+	}
+}
+
+func TestPiecewiseManySegmentsBinarySearch(t *testing.T) {
+	segs := make([]Segment, 64)
+	for i := range segs {
+		segs[i] = Segment{Width: 1, Area: float64(i + 1)}
+	}
+	s := Piecewise(segs...)
+	prev := -1.0
+	for i := 0; i <= 640; i++ {
+		u := float64(i) / 640
+		v := s.Integral(u)
+		if v < prev {
+			t.Fatalf("non-monotone at u=%g", u)
+		}
+		prev = v
+	}
+	if math.Abs(s.Integral(1)-1) > 1e-12 {
+		t.Fatalf("Integral(1) = %g", s.Integral(1))
+	}
+}
+
+func TestMeanAbsDiff(t *testing.T) {
+	if d := MeanAbsDiff(Constant(), Constant(), 100); d != 0 {
+		t.Fatalf("self-diff = %g", d)
+	}
+	d := MeanAbsDiff(Constant(), Linear(0, 2), 1000)
+	// ∫|u - u²|du = 1/6 ≈ 0.1667
+	if math.Abs(d-1.0/6) > 1e-3 {
+		t.Fatalf("MeanAbsDiff = %g, want ≈ 1/6", d)
+	}
+	if d2 := MeanAbsDiff(Constant(), Linear(0, 2), 0); d2 <= 0 {
+		t.Fatalf("default grid MeanAbsDiff = %g", d2)
+	}
+}
+
+func TestTableShapeRoundTrip(t *testing.T) {
+	// Tabulate an analytic shape and check the table tracks it closely.
+	src := ExpDecay(2, 0.2)
+	n := 200
+	ys := make([]float64, n+1)
+	for i := range ys {
+		ys[i] = src.Integral(float64(i) / float64(n))
+	}
+	tab := NewTableShape(ys)
+	if d := MeanAbsDiff(src, tab, 997); d > 1e-4 {
+		t.Fatalf("table reconstruction diff = %g", d)
+	}
+	// Rate should approximate the analytic rate away from the edges.
+	for _, u := range []float64{0.1, 0.5, 0.9} {
+		if got, want := tab.Rate(u), src.Rate(u); math.Abs(got-want) > 0.02*(1+want) {
+			t.Fatalf("table Rate(%g) = %g, want ≈ %g", u, got, want)
+		}
+	}
+	// Edge rates must not read out of range.
+	_ = tab.Rate(0)
+	_ = tab.Rate(1)
+}
+
+func TestTableShapeDoesNotAliasInput(t *testing.T) {
+	ys := []float64{0, 0.5, 1}
+	tab := NewTableShape(ys)
+	ys[1] = 0.9
+	if got := tab.Integral(0.5); got != 0.5 {
+		t.Fatalf("TableShape aliased caller slice: Integral(0.5) = %g", got)
+	}
+}
+
+func TestShapeIntegralMonotoneProperty(t *testing.T) {
+	shapes := allShapes()
+	names := make([]string, 0, len(shapes))
+	for n := range shapes {
+		names = append(names, n)
+	}
+	f := func(idx uint, a, b float64) bool {
+		s := shapes[names[int(idx%uint(len(names)))]]
+		ua, ub := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if math.IsNaN(ua) || math.IsNaN(ub) {
+			return true
+		}
+		if ua > ub {
+			ua, ub = ub, ua
+		}
+		return s.Integral(ub)-s.Integral(ua) >= -1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

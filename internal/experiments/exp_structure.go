@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/burst"
+	"repro/internal/cluster"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// F1Clustering produces the burst scatter plots (duration µs × IPC, one
+// series per cluster) for every application — the structure-detection
+// figure.
+func F1Clustering(env Env) (*Artifact, error) {
+	env.setDefaults()
+	art := &Artifact{ID: "F1", Figures: map[string][]report.Series{}}
+	for _, name := range []string{"stencil", "nbody", "cg"} {
+		tr, _, err := runApp(env, name, defaultCfg(env))
+		if err != nil {
+			return nil, err
+		}
+		all, err := burst.Extract(tr)
+		if err != nil {
+			return nil, err
+		}
+		kept, _ := burst.Filter{MinDuration: 50_000}.Apply(all)
+		res := cluster.ClusterBursts(kept, cluster.Config{UseIPC: true})
+
+		series := map[int]*report.Series{}
+		for i, b := range kept {
+			c := res.Assign[i]
+			s, ok := series[c]
+			if !ok {
+				label := fmt.Sprintf("cluster_%d", c)
+				if c == cluster.Noise {
+					label = "noise"
+				}
+				s = &report.Series{Name: label}
+				series[c] = s
+			}
+			s.X = append(s.X, float64(b.Duration())/1e3) // µs
+			s.Y = append(s.Y, b.IPC())
+		}
+		var out []report.Series
+		for c := 0; c <= res.K; c++ {
+			if s, ok := series[c]; ok {
+				out = append(out, *s)
+			}
+		}
+		art.Figures[name] = out
+		art.Notes = append(art.Notes, fmt.Sprintf(
+			"%s: %d bursts kept, K=%d, eps=%.4f", name, len(kept), res.K, res.Eps))
+	}
+	return art, nil
+}
+
+// T1ClusterQuality summarizes clustering per application: clusters found,
+// computation-time coverage, silhouette, and ground-truth purity.
+func T1ClusterQuality(env Env) (*Artifact, error) {
+	env.setDefaults()
+	tb := &report.Table{
+		Title:  "T1: burst clustering quality",
+		Header: []string{"app", "bursts", "filtered", "K", "time_coverage", "silhouette", "purity_phase1"},
+	}
+	for _, name := range []string{"stencil", "nbody", "cg"} {
+		rep, _, err := analyzeApp(env, name, defaultCfg(env))
+		if err != nil {
+			return nil, err
+		}
+		purity := 0.0
+		if ph := mainPhase(rep); ph != nil {
+			purity = ph.OraclePurity
+		}
+		tb.AddRow(name, rep.Bursts, rep.Filtered, rep.Clustering.K,
+			pct(rep.ClusterTimeCoverage), rep.Clustering.Silhouette, pct(purity))
+	}
+	return &Artifact{ID: "T1", Table: tb}, nil
+}
+
+// F6Callstack folds call stacks of the stencil sweep and reports the
+// per-bin dominant source region and region shares — the "unveiled"
+// internal structure through the call-stack lens.
+func F6Callstack(env Env) (*Artifact, error) {
+	env.setDefaults()
+	rep, _, err := analyzeApp(env, "stencil", defaultCfg(env))
+	if err != nil {
+		return nil, err
+	}
+	ph := dominantPhase(rep, mainKernelID["stencil"])
+	if ph == nil || ph.Stacks == nil {
+		return nil, fmt.Errorf("experiments: stencil sweep stacks unavailable")
+	}
+	tr, _, err := runApp(env, "stencil", defaultCfg(env))
+	if err != nil {
+		return nil, err
+	}
+
+	st := ph.Stacks
+	var series []report.Series
+	for ri, id := range st.Regions {
+		s := report.Series{Name: tr.Meta.RegionName(id)}
+		for b := 0; b < st.Bins; b++ {
+			s.X = append(s.X, (float64(b)+0.5)/float64(st.Bins))
+			s.Y = append(s.Y, st.Share[b][ri])
+		}
+		series = append(series, s)
+	}
+	tb := &report.Table{
+		Title:  "F6: dominant source region over normalized phase time (stencil jacobi_sweep)",
+		Header: []string{"x_range", "dominant_region"},
+	}
+	// Compress consecutive bins with the same dominant region.
+	start := 0
+	for b := 1; b <= st.Bins; b++ {
+		if b < st.Bins && st.Dominant[b] == st.Dominant[start] {
+			continue
+		}
+		tb.AddRow(
+			fmt.Sprintf("[%.2f, %.2f)", float64(start)/float64(st.Bins), float64(b)/float64(st.Bins)),
+			tr.Meta.RegionName(st.Dominant[start]))
+		start = b
+	}
+	art := &Artifact{ID: "F6", Table: tb, Figures: map[string][]report.Series{"shares": series}}
+	for _, x := range st.Transitions() {
+		art.Notes = append(art.Notes, fmt.Sprintf("region transition at x=%.2f", x))
+	}
+	return art, nil
+}
+
+// T6Imbalance folds the nbody forces phase per rank and reports each
+// rank's mean instance duration — exposing load imbalance hidden inside a
+// single cluster.
+func T6Imbalance(env Env) (*Artifact, error) {
+	env.setDefaults()
+	rep, _, err := analyzeApp(env, "nbody", defaultCfg(env))
+	if err != nil {
+		return nil, err
+	}
+	ph := dominantPhase(rep, mainKernelID["nbody"])
+	if ph == nil {
+		return nil, fmt.Errorf("experiments: nbody forces phase not found")
+	}
+	tb := &report.Table{
+		Title:  "T6: per-rank mean instance duration inside the forces cluster (nbody)",
+		Header: []string{"rank", "mean_duration_ms", "vs_mean"},
+	}
+	var mean float64
+	n := 0
+	for _, d := range ph.RankMeanDuration {
+		if d > 0 {
+			mean += d
+			n++
+		}
+	}
+	if n > 0 {
+		mean /= float64(n)
+	}
+	var xs, ys []float64
+	for r, d := range ph.RankMeanDuration {
+		if d == 0 {
+			continue
+		}
+		tb.AddRow(r, d/1e6, pct(d/mean))
+		xs = append(xs, float64(r))
+		ys = append(ys, d/1e6)
+	}
+	art := &Artifact{
+		ID:    "T6",
+		Table: tb,
+		Figures: map[string][]report.Series{
+			"rank_duration": {{Name: "forces_mean_ms", X: xs, Y: ys}},
+		},
+	}
+	art.Notes = append(art.Notes, fmt.Sprintf("imbalance factor (max/mean) = %.3f", ph.ImbalanceFactor))
+	for _, a := range ph.Advice {
+		art.Notes = append(art.Notes, "advice: "+a)
+	}
+	return art, nil
+}
+
+// defaultCfg builds the coarse-sampling evaluation configuration.
+func defaultCfg(env Env) sim.Config {
+	return apps.DefaultTraceConfig(env.Ranks)
+}

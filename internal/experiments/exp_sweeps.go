@@ -1,0 +1,173 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/counters"
+	"repro/internal/folding"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// F4PeriodSweep measures folding accuracy (vs analytic ground truth) as
+// the sampling period grows from fine to very coarse, on the stencil
+// sweep. The paper's central point: accuracy barely degrades with the
+// period because folding pools samples across instances, while the number
+// of samples per single instance (also reported) collapses — per-instance
+// analysis would be impossible.
+func F4PeriodSweep(env Env) (*Artifact, error) {
+	env.setDefaults()
+	periods := []int64{1, 2, 5, 10, 20, 50, 100} // ms
+	truthApp := apps.NewStencil(1)
+	truth := truthApp.Kernels()[0].ShapeOf(counters.TotIns)
+
+	var xs, acc, perInst []float64
+	tb := &report.Table{
+		Title:  "F4: folding accuracy vs sampling period (stencil jacobi_sweep, vs ground truth)",
+		Header: []string{"period_ms", "mean_abs_diff", "folded_points", "samples_per_instance"},
+	}
+	for _, p := range periods {
+		cfg := apps.DefaultTraceConfig(env.Ranks)
+		cfg.Sampling.Period = trace.Time(p * 1_000_000)
+		rep, _, err := analyzeApp(env, "stencil", cfg)
+		if err != nil {
+			return nil, err
+		}
+		ph := dominantPhase(rep, mainKernelID["stencil"])
+		f := foldOf(ph, counters.TotIns)
+		if f == nil {
+			tb.AddRow(p, "fold failed", 0, 0)
+			continue
+		}
+		d := f.MeanAbsDiff(truth)
+		spi := float64(len(f.Points)) / float64(f.Instances)
+		tb.AddRow(p, pct(d), len(f.Points), spi)
+		xs = append(xs, float64(p))
+		acc = append(acc, 100*d)
+		perInst = append(perInst, spi)
+	}
+	art := &Artifact{
+		ID:    "F4",
+		Table: tb,
+		Figures: map[string][]report.Series{
+			"accuracy": {
+				{Name: "mean_abs_diff_pct", X: xs, Y: acc},
+				{Name: "samples_per_instance", X: xs, Y: perInst},
+			},
+		},
+	}
+	return art, nil
+}
+
+// F5InstanceSweep measures folding accuracy as the number of folded
+// instances (iterations) grows — convergence of the fold.
+func F5InstanceSweep(env Env) (*Artifact, error) {
+	env.setDefaults()
+	iters := []int{10, 20, 50, 100, 200, 400}
+	truthApp := apps.NewStencil(1)
+	truth := truthApp.Kernels()[0].ShapeOf(counters.TotIns)
+
+	var xs, acc []float64
+	tb := &report.Table{
+		Title:  "F5: folding accuracy vs folded instances (stencil jacobi_sweep, 20 ms sampling)",
+		Header: []string{"iterations", "instances", "folded_points", "mean_abs_diff"},
+	}
+	for _, it := range iters {
+		e := env
+		e.Iters = it
+		rep, _, err := analyzeApp(e, "stencil", apps.DefaultTraceConfig(e.Ranks))
+		if err != nil {
+			return nil, err
+		}
+		ph := dominantPhase(rep, mainKernelID["stencil"])
+		f := foldOf(ph, counters.TotIns)
+		if f == nil {
+			tb.AddRow(it, 0, 0, "fold failed")
+			continue
+		}
+		d := f.MeanAbsDiff(truth)
+		tb.AddRow(it, f.Instances, len(f.Points), pct(d))
+		xs = append(xs, float64(it))
+		acc = append(acc, 100*d)
+	}
+	return &Artifact{
+		ID:    "F5",
+		Table: tb,
+		Figures: map[string][]report.Series{
+			"convergence": {{Name: "mean_abs_diff_pct", X: xs, Y: acc}},
+		},
+	}, nil
+}
+
+// T4FitAblation compares the three fitting models on identical folded
+// data (stencil sweep, coarse sampling).
+func T4FitAblation(env Env) (*Artifact, error) {
+	env.setDefaults()
+	truth := apps.NewStencil(1).Kernels()[0].ShapeOf(counters.TotIns)
+	instances, err := stencilSweepInstances(env, apps.DefaultTraceConfig(env.Ranks))
+	if err != nil {
+		return nil, err
+	}
+	tb := &report.Table{
+		Title:  "T4: fit model ablation (stencil jacobi_sweep, TOT_INS, vs ground truth)",
+		Header: []string{"model", "mean_abs_diff", "breakpoints"},
+	}
+	for _, m := range []folding.Model{folding.ModelBinnedPCHIP, folding.ModelKernel, folding.ModelBinned} {
+		res, err := folding.Fold(instances, folding.Config{Counter: counters.TotIns, Model: m})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: model %v: %w", m, err)
+		}
+		tb.AddRow(m.String(), pct(res.MeanAbsDiff(truth)), len(res.Breakpoints))
+	}
+	return &Artifact{ID: "T4", Table: tb}, nil
+}
+
+// T5PruneAblation measures the value of instance outlier pruning under
+// heavy OS noise: 10% of sweep instances are hit by a 3× slowdown.
+func T5PruneAblation(env Env) (*Artifact, error) {
+	env.setDefaults()
+	truth := apps.NewStencil(1).Kernels()[0].ShapeOf(counters.TotIns)
+	instances, err := stencilSweepInstances(env, apps.DefaultTraceConfig(env.Ranks))
+	if err != nil {
+		return nil, err
+	}
+	// Inject synthetic OS-noise hits: stretch every 10th instance 3×.
+	// (The samples keep their positions, so the stretched instances have
+	// systematically wrong normalized times — exactly what noise does.)
+	noisy := make([]folding.Instance, len(instances))
+	copy(noisy, instances)
+	for i := 0; i < len(noisy); i += 10 {
+		noisy[i].End = noisy[i].Start + 3*noisy[i].Duration()
+	}
+	tb := &report.Table{
+		Title:  "T5: instance pruning ablation (stencil sweep, 10% of instances stretched 3x)",
+		Header: []string{"pruning", "pruned_instances", "mean_abs_diff"},
+	}
+	with, err := folding.Fold(noisy, folding.Config{Counter: counters.TotIns, PruneK: 3})
+	if err != nil {
+		return nil, err
+	}
+	without, err := folding.Fold(noisy, folding.Config{Counter: counters.TotIns, PruneK: -1})
+	if err != nil {
+		return nil, err
+	}
+	tb.AddRow("on (k=3 MAD)", with.Pruned, pct(with.MeanAbsDiff(truth)))
+	tb.AddRow("off", without.Pruned, pct(without.MeanAbsDiff(truth)))
+	return &Artifact{ID: "T5", Table: tb}, nil
+}
+
+// stencilSweepInstances extracts the sweep-phase folding instances from a
+// stencil run — shared by the ablation experiments.
+func stencilSweepInstances(env Env, cfg sim.Config) ([]folding.Instance, error) {
+	rep, _, err := analyzeApp(env, "stencil", cfg)
+	if err != nil {
+		return nil, err
+	}
+	ph := dominantPhase(rep, mainKernelID["stencil"])
+	if ph == nil {
+		return nil, fmt.Errorf("experiments: stencil sweep phase not found")
+	}
+	return ph.FoldInstances, nil
+}

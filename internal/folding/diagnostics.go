@@ -1,0 +1,88 @@
+package folding
+
+import (
+	"math"
+	"sort"
+)
+
+// Diagnostics quantifies whether a fold's input actually supports the
+// reconstruction. Folding's correctness rests on the sampling clock being
+// uncorrelated with phase starts, so that folded sample positions cover
+// [0,1] uniformly. A resonant sampler (period locked to the iteration
+// duration, no jitter) stacks every sample at the same few positions —
+// the fitted curve then interpolates blindly across the gaps. The
+// diagnostics detect that failure mode from the data alone.
+type Diagnostics struct {
+	// KS is the Kolmogorov–Smirnov statistic of the folded x positions
+	// against the uniform distribution (0 = perfectly uniform, 1 = all
+	// mass at one point).
+	KS float64
+	// MaxGap is the largest gap between consecutive folded x positions
+	// (including the 0 and 1 boundaries). Uniform coverage with n points
+	// has expected max gap ≈ ln(n)/n.
+	MaxGap float64
+	// Points is the number of folded sample positions examined.
+	Points int
+	// SuspectAliasing is set when the coverage is so non-uniform that the
+	// reconstruction should not be trusted (KS > 0.2 or a gap > 20% of
+	// the axis with enough points that this cannot be chance).
+	SuspectAliasing bool
+}
+
+// Diagnose computes coverage diagnostics for a fold result.
+func (r *Result) Diagnose() Diagnostics {
+	xs := make([]float64, 0, len(r.Points))
+	for _, p := range r.Points {
+		xs = append(xs, p.X)
+	}
+	return DiagnoseCoverage(xs)
+}
+
+// DiagnoseCoverage runs the coverage analysis on raw folded positions.
+func DiagnoseCoverage(xs []float64) Diagnostics {
+	d := Diagnostics{Points: len(xs)}
+	if len(xs) == 0 {
+		d.KS = 1
+		d.MaxGap = 1
+		d.SuspectAliasing = true
+		return d
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+
+	// KS statistic vs U(0,1): sup over sample points of |F̂(x) − x|.
+	n := float64(len(sorted))
+	for i, x := range sorted {
+		lo := float64(i)/n - x
+		hi := x - float64(i+1)/n
+		if lo > d.KS {
+			d.KS = lo
+		}
+		if hi > d.KS {
+			d.KS = hi
+		}
+	}
+
+	prev := 0.0
+	for _, x := range sorted {
+		if g := x - prev; g > d.MaxGap {
+			d.MaxGap = g
+		}
+		prev = x
+	}
+	if g := 1 - prev; g > d.MaxGap {
+		d.MaxGap = g
+	}
+
+	// Thresholds: the 0.1% KS critical value is ≈ 1.95/√n, floored at 0.2
+	// so dense folds need gross deviations to trip; a 20% hole cannot
+	// happen by chance for n ≥ 30 (probability < 0.8³⁰ ≈ 0.1%). Samples
+	// smaller than 30 points carry too little evidence to judge at all.
+	if len(xs) >= 30 {
+		critKS := math.Max(0.2, 1.95/math.Sqrt(n))
+		if d.KS > critKS || d.MaxGap > 0.2 {
+			d.SuspectAliasing = true
+		}
+	}
+	return d
+}

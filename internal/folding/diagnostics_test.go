@@ -1,0 +1,116 @@
+package folding
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/counters"
+	"repro/internal/trace"
+)
+
+func TestDiagnoseUniformCoverageClean(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	xs := make([]float64, 500)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	d := DiagnoseCoverage(xs)
+	if d.SuspectAliasing {
+		t.Fatalf("uniform coverage flagged: %+v", d)
+	}
+	if d.KS > 0.1 {
+		t.Fatalf("KS = %g for uniform data", d.KS)
+	}
+	if d.Points != 500 {
+		t.Fatalf("points = %d", d.Points)
+	}
+}
+
+func TestDiagnoseAliasedCoverageFlagged(t *testing.T) {
+	// Resonant sampling: every sample lands at one of 3 positions.
+	xs := make([]float64, 300)
+	for i := range xs {
+		xs[i] = []float64{0.1, 0.45, 0.8}[i%3]
+	}
+	d := DiagnoseCoverage(xs)
+	if !d.SuspectAliasing {
+		t.Fatalf("aliased coverage not flagged: %+v", d)
+	}
+	if d.MaxGap < 0.3 {
+		t.Fatalf("max gap = %g", d.MaxGap)
+	}
+}
+
+func TestDiagnoseHalfAxisHole(t *testing.T) {
+	// Samples only in [0, 0.5): a hole covering half the axis.
+	rng := rand.New(rand.NewPCG(2, 2))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 0.5 * rng.Float64()
+	}
+	d := DiagnoseCoverage(xs)
+	if !d.SuspectAliasing || d.MaxGap < 0.45 {
+		t.Fatalf("half-axis hole not flagged: %+v", d)
+	}
+}
+
+func TestDiagnoseEmpty(t *testing.T) {
+	d := DiagnoseCoverage(nil)
+	if !d.SuspectAliasing || d.KS != 1 || d.MaxGap != 1 {
+		t.Fatalf("empty diagnostics = %+v", d)
+	}
+}
+
+func TestDiagnoseSmallSampleNotOverflagged(t *testing.T) {
+	// 10 uniform points have big gaps by chance; must not be flagged.
+	rng := rand.New(rand.NewPCG(3, 3))
+	for trial := 0; trial < 50; trial++ {
+		xs := make([]float64, 10)
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+		if d := DiagnoseCoverage(xs); d.SuspectAliasing {
+			t.Fatalf("trial %d: small uniform sample flagged: %+v", trial, d)
+		}
+	}
+}
+
+// TestResonantSamplerDetectedEndToEnd builds the paper's failure mode
+// explicitly: a zero-jitter sampler whose period exactly matches the
+// instance duration puts every sample at the same relative position; the
+// fold must carry the warning.
+func TestResonantSamplerDetectedEndToEnd(t *testing.T) {
+	const dur = 1_000_000
+	var instances []Instance
+	var clock trace.Time
+	for i := 0; i < 200; i++ {
+		in := Instance{Start: clock, End: clock + dur}
+		in.Totals[counters.TotIns] = 1_000_000
+		// The "sampler" fires at a fixed phase: always 30% into the
+		// instance (period == instance duration, zero jitter).
+		var s trace.Sample
+		s.Time = in.Start + dur*3/10
+		s.Counters[counters.TotIns] = in.Base[counters.TotIns] + 300_000
+		in.Samples = []trace.Sample{s}
+		instances = append(instances, in)
+		clock += dur
+	}
+	res, err := Fold(instances, Config{Counter: counters.TotIns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := res.Diagnose()
+	if !d.SuspectAliasing {
+		t.Fatalf("resonant sampling not detected: %+v", d)
+	}
+	// Contrast: the jittered simulator configuration never trips it (the
+	// genInstances generator uses uniform positions).
+	good := genInstances(counters.Constant(), 200, 2, 0.05, 4)
+	res2, err := Fold(good, Config{Counter: counters.TotIns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2 := res2.Diagnose(); d2.SuspectAliasing {
+		t.Fatalf("healthy fold flagged: %+v", d2)
+	}
+}

@@ -1,0 +1,83 @@
+package folding
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// InstancesFromIterations builds folding instances from whole main-loop
+// iterations instead of cluster bursts: instance k on a rank spans its
+// k-th to (k+1)-th EvIteration marker. Folding such instances
+// reconstructs the evolution of the entire iteration body — computation
+// ramps separated by flat segments where the rank sits in MPI — which is
+// how the methodology visualizes code whose structure is known from
+// markers rather than discovered by clustering.
+//
+// Iteration markers must carry counter snapshots (probes read counters;
+// the simulator always provides them). The final marker's span has no
+// closing snapshot and is skipped, as are ranks with fewer than two
+// markers.
+func InstancesFromIterations(tr *trace.Trace) ([]Instance, error) {
+	if tr.Meta.Ranks < 1 {
+		return nil, fmt.Errorf("folding: trace has no ranks")
+	}
+	marks := make(map[int32][]trace.Event)
+	for _, e := range tr.Events {
+		if e.Type != trace.EvIteration {
+			continue
+		}
+		if !e.HasCounters {
+			return nil, fmt.Errorf("folding: iteration marker without counters at rank %d time %d", e.Rank, e.Time)
+		}
+		marks[e.Rank] = append(marks[e.Rank], e)
+	}
+	if len(marks) == 0 {
+		return nil, fmt.Errorf("folding: trace has no iteration markers")
+	}
+
+	var out []Instance
+	for rank := int32(0); rank < int32(tr.Meta.Ranks); rank++ {
+		ms := marks[rank]
+		for k := 0; k+1 < len(ms); k++ {
+			in := Instance{
+				Rank:   rank,
+				Start:  ms[k].Time,
+				End:    ms[k+1].Time,
+				Base:   ms[k].Counters,
+				Totals: ms[k+1].Counters.Sub(ms[k].Counters),
+			}
+			if in.End > in.Start {
+				out = append(out, in)
+			}
+		}
+	}
+
+	// Attach samples: per rank two-pointer over the (time-sorted) samples.
+	perRank := make(map[int32][]trace.Sample)
+	for _, s := range tr.Samples {
+		perRank[s.Rank] = append(perRank[s.Rank], s)
+	}
+	byRank := make(map[int32][]int)
+	for i := range out {
+		byRank[out[i].Rank] = append(byRank[out[i].Rank], i)
+	}
+	for rank, idx := range byRank {
+		samples := perRank[rank]
+		si := 0
+		for _, i := range idx {
+			in := &out[i]
+			for si < len(samples) && samples[si].Time < in.Start {
+				si++
+			}
+			lo := si
+			for si < len(samples) && samples[si].Time < in.End {
+				si++
+			}
+			if si > lo {
+				in.Samples = samples[lo:si]
+			}
+		}
+	}
+	return out, nil
+}

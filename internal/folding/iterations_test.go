@@ -1,0 +1,128 @@
+package folding
+
+import (
+	"testing"
+
+	"repro/internal/counters"
+	"repro/internal/trace"
+)
+
+// buildIterTrace makes a 2-rank trace with 4 iterations of 1 ms each;
+// instructions accrue only in the first 60% of every iteration (the rest
+// models an MPI wait), at a uniform rate.
+func buildIterTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	b := trace.NewBuilder("it", 2)
+	const iterNS = 1_000_000
+	const insPerIter = 600_000
+	for r := int32(0); r < 2; r++ {
+		var ins int64
+		var sampleT trace.Time
+		for k := 0; k < 5; k++ { // 5 markers = 4 complete iterations
+			t0 := trace.Time(k * iterNS)
+			b.EventC(r, t0, trace.EvIteration, int64(k+1), []int64{ins, int64(t0) * 2, 0, 0, 0})
+			if k == 4 {
+				break
+			}
+			// 10 samples inside the iteration.
+			for s := 1; s <= 10; s++ {
+				sampleT = t0 + trace.Time(s*iterNS/11)
+				u := float64(sampleT-t0) / iterNS
+				frac := u / 0.6
+				if frac > 1 {
+					frac = 1
+				}
+				b.Sample(r, sampleT, []int64{ins + int64(frac*insPerIter), int64(sampleT) * 2, 0, 0, 0}, nil)
+			}
+			ins += insPerIter
+		}
+	}
+	return b.Build()
+}
+
+func TestInstancesFromIterations(t *testing.T) {
+	tr := buildIterTrace(t)
+	instances, err := InstancesFromIterations(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(instances) != 8 { // 2 ranks × 4 iterations
+		t.Fatalf("instances = %d, want 8", len(instances))
+	}
+	for _, in := range instances {
+		if in.Duration() != 1_000_000 {
+			t.Fatalf("duration = %d", in.Duration())
+		}
+		if in.Totals[counters.TotIns] != 600_000 {
+			t.Fatalf("totals = %d", in.Totals[counters.TotIns])
+		}
+		if len(in.Samples) != 10 {
+			t.Fatalf("samples = %d", len(in.Samples))
+		}
+	}
+}
+
+func TestIterationFoldingRecoversComputeThenWait(t *testing.T) {
+	tr := buildIterTrace(t)
+	instances, err := InstancesFromIterations(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Fold(instances, Config{Counter: counters.TotIns})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All instructions accrue in the first 60%: the cumulative curve must
+	// reach ~1 at x = 0.6 and stay flat after.
+	at06 := res.Cumulative[60]
+	if at06 < 0.95 {
+		t.Fatalf("cumulative at 0.6 = %g, want ≈ 1", at06)
+	}
+	for i := 75; i <= 100; i++ {
+		if res.Rate[i] > 0.15*res.MeanTotal/res.MeanDuration {
+			t.Fatalf("rate at %g = %g, want ≈ 0 in the MPI tail", res.Grid[i], res.Rate[i])
+		}
+	}
+	// A breakpoint near 0.6 marks the compute/wait boundary.
+	found := false
+	for _, bp := range res.Breakpoints {
+		if bp > 0.5 && bp < 0.7 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no compute/wait breakpoint near 0.6: %v", res.Breakpoints)
+	}
+}
+
+func TestInstancesFromIterationsErrors(t *testing.T) {
+	if _, err := InstancesFromIterations(&trace.Trace{}); err == nil {
+		t.Fatal("no-rank trace accepted")
+	}
+	// No markers.
+	b := trace.NewBuilder("x", 1)
+	b.Event(0, 10, trace.EvMPI, int64(trace.MPIBarrier))
+	b.Event(0, 20, trace.EvMPI, 0)
+	if _, err := InstancesFromIterations(b.Build()); err == nil {
+		t.Fatal("markerless trace accepted")
+	}
+	// Markers without counters.
+	b2 := trace.NewBuilder("x", 1)
+	b2.Event(0, 10, trace.EvIteration, 1)
+	b2.Event(0, 20, trace.EvIteration, 2)
+	if _, err := InstancesFromIterations(b2.Build()); err == nil {
+		t.Fatal("counterless markers accepted")
+	}
+}
+
+func TestInstancesFromIterationsSingleMarker(t *testing.T) {
+	b := trace.NewBuilder("x", 1)
+	b.EventC(0, 10, trace.EvIteration, 1, []int64{0})
+	instances, err := InstancesFromIterations(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(instances) != 0 {
+		t.Fatalf("single marker produced %d instances", len(instances))
+	}
+}

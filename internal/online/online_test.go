@@ -1,0 +1,132 @@
+package online
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/burst"
+	"repro/internal/cluster"
+	"repro/internal/counters"
+	"repro/internal/folding"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// streamSetup simulates the stencil app and returns the filtered bursts
+// (in stream order) plus their attached samples.
+func streamSetup(t *testing.T, iters int) ([]burst.Burst, [][]folding.Instance, *sim.Config) {
+	t.Helper()
+	app := apps.NewStencil(iters)
+	cfg := apps.DefaultTraceConfig(8)
+	tr, err := sim.Run(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := burst.Extract(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept, _ := burst.Filter{MinDuration: 50_000}.Apply(all)
+	attached := burst.AttachSamples(tr, kept)
+	instances := make([][]folding.Instance, len(kept))
+	for i := range kept {
+		instances[i] = []folding.Instance{{
+			Rank:    kept[i].Rank,
+			Start:   kept[i].Start,
+			End:     kept[i].End,
+			Base:    kept[i].Base,
+			Totals:  kept[i].Delta,
+			Samples: attached[i],
+		}}
+	}
+	return kept, instances, &cfg
+}
+
+func TestTrainThenClassifyMatchesOffline(t *testing.T) {
+	kept, _, _ := streamSetup(t, 150)
+	// Train on the first 20% of the stream.
+	split := len(kept) / 5
+	training := append([]burst.Burst(nil), kept[:split]...)
+	clf, err := Train(training, cluster.Config{UseIPC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(clf.Phases()) < 2 {
+		t.Fatalf("phases learned = %d", len(clf.Phases()))
+	}
+
+	// Offline reference on the full stream.
+	offline := append([]burst.Burst(nil), kept...)
+	cluster.ClusterBursts(offline, cluster.Config{UseIPC: true})
+
+	// Online classification of the remainder must agree with the offline
+	// labels (up to a permutation learned from co-occurrence).
+	remap := map[int]map[int]int{}
+	agree, total := 0, 0
+	for i := split; i < len(kept); i++ {
+		b := kept[i]
+		on := clf.Classify(&b)
+		off := offline[i].Cluster
+		if off == cluster.Noise {
+			continue
+		}
+		if remap[on] == nil {
+			remap[on] = map[int]int{}
+		}
+		remap[on][off]++
+		total++
+	}
+	// Majority mapping per online label.
+	for on, m := range remap {
+		best, bestN := 0, 0
+		for off, n := range m {
+			if n > bestN {
+				best, bestN = off, n
+			}
+		}
+		agree += m[best]
+		_ = on
+	}
+	if total == 0 {
+		t.Fatal("no classified bursts")
+	}
+	if frac := float64(agree) / float64(total); frac < 0.97 {
+		t.Fatalf("online/offline agreement = %.3f", frac)
+	}
+}
+
+func TestClassifyRejectsAlienBurst(t *testing.T) {
+	kept, _, _ := streamSetup(t, 60)
+	clf, err := Train(kept[:len(kept)/2], cluster.Config{UseIPC: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var alien burst.Burst
+	alien.Start = 0
+	alien.End = 500_000_000 // 500 ms: nothing like the training phases
+	alien.Delta[counters.TotIns] = 1_000
+	alien.Delta[counters.TotCyc] = 1_250_000_000
+	if got := clf.Classify(&alien); got != cluster.Noise {
+		t.Fatalf("alien burst classified as %d", got)
+	}
+}
+
+func TestTrainErrors(t *testing.T) {
+	if _, err := Train(nil, cluster.Config{}); err == nil {
+		t.Fatal("empty training accepted")
+	}
+	// Fewer points than MinPts, all far apart: DBSCAN labels everything
+	// noise and training must refuse.
+	var bursts []burst.Burst
+	for i := 0; i < 3; i++ {
+		var d counters.Values
+		d[counters.TotIns] = int64(1) << (10 * (i + 1))
+		d[counters.TotCyc] = 1000
+		bursts = append(bursts, burst.Burst{
+			Start: 0, End: trace.Time(100 << (5 * i)), Delta: d,
+		})
+	}
+	if _, err := Train(bursts, cluster.Config{MinPts: 4, UseIPC: true}); err == nil {
+		t.Fatal("unclusterable training accepted")
+	}
+}

@@ -1,0 +1,193 @@
+package paraver
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func sampleTrace(t *testing.T) *trace.Trace {
+	t.Helper()
+	b := trace.NewBuilder("prvtest", 2)
+	rMain := b.Region("main")
+	rKern := b.Region("kernel")
+	b.Event(0, 5, trace.EvIteration, 1)
+	b.EventC(0, 10, trace.EvMPI, int64(trace.MPIBarrier), []int64{10, 20, 1, 0, 5})
+	b.Event(1, 10, trace.EvMPI, int64(trace.MPIBarrier))
+	b.EventC(0, 30, trace.EvMPI, 0, []int64{10, 60, 1, 0, 5})
+	b.Event(1, 32, trace.EvMPI, 0)
+	b.Sample(0, 100, []int64{1000, 2000, 30, 4, 500}, []uint32{rKern, rMain})
+	b.Sample(1, 150, []int64{900, 1900, 20, 2, 400}, nil)
+	b.Event(0, 200, trace.EvRegion, int64(rKern))
+	b.Event(0, 300, trace.EvRegion, 0)
+	b.Comm(0, 1, 400, 450, 8192, 3)
+	b.Event(0, 500, trace.EvOracle, 7)
+	b.Event(0, 600, trace.EvOracle, 0)
+	return b.Build()
+}
+
+func TestEncodeProducesHeaderAndRecords(t *testing.T) {
+	tr := sampleTrace(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if !strings.HasPrefix(lines[0], "#Paraver") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	// 1 header + 9 events as records... events merged: each event its own line,
+	// samples one line each, comm one line.
+	var ev, comm int
+	for _, l := range lines[1:] {
+		switch l[0] {
+		case '2':
+			ev++
+		case '3':
+			comm++
+		default:
+			t.Fatalf("unexpected record line %q", l)
+		}
+	}
+	if comm != 1 {
+		t.Fatalf("comm records = %d, want 1", comm)
+	}
+	if ev != len(tr.Events)+len(tr.Samples) {
+		t.Fatalf("event records = %d, want %d", ev, len(tr.Events)+len(tr.Samples))
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := sampleTrace(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Meta.Ranks != tr.Meta.Ranks {
+		t.Fatalf("Ranks = %d, want %d", got.Meta.Ranks, tr.Meta.Ranks)
+	}
+	if got.Meta.Duration != tr.Meta.Duration {
+		t.Fatalf("Duration = %d, want %d", got.Meta.Duration, tr.Meta.Duration)
+	}
+	if !reflect.DeepEqual(got.Events, tr.Events) {
+		t.Fatalf("events mismatch:\nwant %+v\ngot  %+v", tr.Events, got.Events)
+	}
+	if !reflect.DeepEqual(got.Samples, tr.Samples) {
+		t.Fatalf("samples mismatch:\nwant %+v\ngot  %+v", tr.Samples, got.Samples)
+	}
+	if !reflect.DeepEqual(got.Comms, tr.Comms) {
+		t.Fatalf("comms mismatch:\nwant %+v\ngot  %+v", tr.Comms, got.Comms)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"empty":            "",
+		"no header":        "2:1:1:1:1:0:50000001:4\n",
+		"bad record kind":  "#Paraver (generated):10_ns:1(1):1:1\n9:1:1:1:1:0\n",
+		"odd event fields": "#Paraver (generated):10_ns:1(1):1:1\n2:1:1:1:1:0:50000001\n",
+		"non-numeric":      "#Paraver (generated):10_ns:1(1):1:1\n2:1:1:1:1:zero:50000001:4\n",
+		"unknown type":     "#Paraver (generated):10_ns:1(1):1:1\n2:1:1:1:1:0:77777777:4\n",
+		"stack no counter": "#Paraver (generated):10_ns:1(1):1:1\n2:1:1:1:1:0:30000000:4\n",
+		"short comm":       "#Paraver (generated):10_ns:1(1):1:1\n3:1:1:1:1:0:0:1:1:2:1\n",
+		"bad comm field":   "#Paraver (generated):10_ns:1(1):1:1\n3:1:1:1:1:0:0:1:1:2:1:9:9:x:0\n",
+	}
+	for name, in := range cases {
+		if _, err := Decode(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Decode accepted malformed input", name)
+		}
+	}
+}
+
+func TestDecodeSkipsBlankAndComments(t *testing.T) {
+	in := "#Paraver (generated):10_ns:1(2):1:2\n\n# a comment\n2:1:1:1:1:5:2000:1\n"
+	tr, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(tr.Events) != 1 || tr.Events[0].Type != trace.EvIteration || tr.Events[0].Value != 1 {
+		t.Fatalf("events = %+v", tr.Events)
+	}
+	if tr.Meta.Ranks != 2 {
+		t.Fatalf("Ranks = %d", tr.Meta.Ranks)
+	}
+}
+
+func TestDecodeInfersRanksWithoutHeaderCount(t *testing.T) {
+	in := "#Paraver somethingunparseable\n2:3:1:3:1:5:2000:1\n"
+	tr, err := Decode(strings.NewReader(in))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if tr.Meta.Ranks != 3 {
+		t.Fatalf("inferred Ranks = %d, want 3", tr.Meta.Ranks)
+	}
+}
+
+func TestEncodePCFListsNames(t *testing.T) {
+	tr := sampleTrace(t)
+	var buf bytes.Buffer
+	if err := EncodePCF(&buf, tr); err != nil {
+		t.Fatalf("EncodePCF: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"MPI_Barrier", "kernel", "PAPI_TOT_INS", "EVENT_TYPE", "NANOSEC"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("PCF output missing %q", want)
+		}
+	}
+}
+
+// TestDecodeRobustAgainstMutations fuzzes the decoder with random
+// single-byte mutations of a valid stream: it must either succeed or fail
+// cleanly, never panic, and successful decodes must keep records in range.
+func TestDecodeRobustAgainstMutations(t *testing.T) {
+	tr := sampleTrace(t)
+	var buf bytes.Buffer
+	if err := Encode(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	base := buf.Bytes()
+	for trial := 0; trial < 300; trial++ {
+		mutated := append([]byte(nil), base...)
+		pos := (trial * 131) % len(mutated)
+		mutated[pos] ^= byte(1 << (trial % 8))
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d (pos %d): decoder panicked: %v", trial, pos, p)
+				}
+			}()
+			got, err := Decode(bytes.NewReader(mutated))
+			if err != nil {
+				return // clean failure is fine
+			}
+			for _, s := range got.Samples {
+				if len(s.Stack) > 1024 {
+					t.Fatalf("trial %d: absurd stack depth %d", trial, len(s.Stack))
+				}
+			}
+		}()
+	}
+}
+
+func TestEventTypeNumberRoundTrip(t *testing.T) {
+	for _, et := range []trace.EventType{trace.EvMPI, trace.EvRegion, trace.EvIteration, trace.EvOracle} {
+		n := eventTypeNumber(et)
+		got, ok := eventTypeFromNumber(n)
+		if !ok || got != et {
+			t.Errorf("round trip of %v via %d failed: %v %v", et, n, got, ok)
+		}
+	}
+	if _, ok := eventTypeFromNumber(55); ok {
+		t.Error("eventTypeFromNumber(55) should fail")
+	}
+}

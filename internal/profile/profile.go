@@ -1,0 +1,162 @@
+// Package profile computes classic flat profiles from traces: where does
+// the time go, per rank and per MPI operation? The paper's methodology
+// exists because these aggregate views hide everything interesting inside
+// computation; the profile is still the first thing an analyst looks at,
+// and the pipeline uses it to report MPI/computation ratios and rank
+// balance before diving into folding.
+package profile
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// OpStats aggregates one MPI operation's cost.
+type OpStats struct {
+	Op    trace.MPIOp
+	Calls int
+	Time  trace.Time
+}
+
+// RankStats aggregates one rank's time split.
+type RankStats struct {
+	Rank        int32
+	ComputeTime trace.Time
+	MPITime     trace.Time
+	MPICalls    int
+}
+
+// Profile is the flat view of a trace.
+type Profile struct {
+	// Duration is the trace's total virtual time.
+	Duration trace.Time
+	// Ranks holds per-rank splits, indexed by rank.
+	Ranks []RankStats
+	// Ops holds per-operation aggregates over all ranks, sorted by
+	// descending total time.
+	Ops []OpStats
+	// TotalCompute and TotalMPI sum over ranks.
+	TotalCompute, TotalMPI trace.Time
+}
+
+// MPIFraction returns the fraction of rank-time spent inside MPI.
+func (p *Profile) MPIFraction() float64 {
+	tot := p.TotalCompute + p.TotalMPI
+	if tot == 0 {
+		return 0
+	}
+	return float64(p.TotalMPI) / float64(tot)
+}
+
+// LoadBalance returns the ratio of mean to max per-rank compute time — 1
+// means perfectly balanced, lower is worse. (This is the classic "LB"
+// metric from the POP/BSC efficiency model.)
+func (p *Profile) LoadBalance() float64 {
+	var sum float64
+	max := 0.0
+	n := 0
+	for _, r := range p.Ranks {
+		c := float64(r.ComputeTime)
+		sum += c
+		if c > max {
+			max = c
+		}
+		n++
+	}
+	if n == 0 || max == 0 {
+		return 1
+	}
+	return (sum / float64(n)) / max
+}
+
+// Compute builds the flat profile of a trace. The trace must be valid
+// (MPI enter/exit events alternating per rank).
+func Compute(tr *trace.Trace) (*Profile, error) {
+	if tr.Meta.Ranks < 1 {
+		return nil, fmt.Errorf("profile: trace has no ranks")
+	}
+	p := &Profile{
+		Duration: tr.Meta.Duration,
+		Ranks:    make([]RankStats, tr.Meta.Ranks),
+	}
+	for r := range p.Ranks {
+		p.Ranks[r].Rank = int32(r)
+	}
+	type open struct {
+		op    trace.MPIOp
+		since trace.Time
+		in    bool
+	}
+	state := make([]open, tr.Meta.Ranks)
+	lastBoundary := make([]trace.Time, tr.Meta.Ranks)
+	ops := map[trace.MPIOp]*OpStats{}
+
+	for _, e := range tr.Events {
+		if e.Type != trace.EvMPI {
+			continue
+		}
+		if int(e.Rank) >= len(state) {
+			return nil, fmt.Errorf("profile: event rank %d out of range", e.Rank)
+		}
+		st := &state[e.Rank]
+		rs := &p.Ranks[e.Rank]
+		if e.Value != 0 {
+			if st.in {
+				return nil, fmt.Errorf("profile: rank %d enters MPI at %d while inside", e.Rank, e.Time)
+			}
+			rs.ComputeTime += e.Time - lastBoundary[e.Rank]
+			st.op = trace.MPIOp(e.Value)
+			st.since = e.Time
+			st.in = true
+		} else {
+			if !st.in {
+				return nil, fmt.Errorf("profile: rank %d exits MPI at %d while outside", e.Rank, e.Time)
+			}
+			d := e.Time - st.since
+			rs.MPITime += d
+			rs.MPICalls++
+			o := ops[st.op]
+			if o == nil {
+				o = &OpStats{Op: st.op}
+				ops[st.op] = o
+			}
+			o.Calls++
+			o.Time += d
+			lastBoundary[e.Rank] = e.Time
+			st.in = false
+		}
+	}
+	// Trailing compute up to the trace end.
+	for r := range state {
+		if state[r].in {
+			return nil, fmt.Errorf("profile: rank %d trace ends inside MPI", r)
+		}
+		p.Ranks[r].ComputeTime += tr.Meta.Duration - lastBoundary[r]
+	}
+	for _, rs := range p.Ranks {
+		p.TotalCompute += rs.ComputeTime
+		p.TotalMPI += rs.MPITime
+	}
+	for _, o := range ops {
+		p.Ops = append(p.Ops, *o)
+	}
+	sort.Slice(p.Ops, func(i, j int) bool {
+		if p.Ops[i].Time != p.Ops[j].Time {
+			return p.Ops[i].Time > p.Ops[j].Time
+		}
+		return p.Ops[i].Op < p.Ops[j].Op
+	})
+	return p, nil
+}
+
+// Format renders the profile as a human-readable summary.
+func (p *Profile) Format() string {
+	s := fmt.Sprintf("duration %.3f s | compute %.1f%% | MPI %.1f%% | load balance %.3f\n",
+		float64(p.Duration)/1e9, 100*(1-p.MPIFraction()), 100*p.MPIFraction(), p.LoadBalance())
+	for _, o := range p.Ops {
+		s += fmt.Sprintf("  %-14s %8d calls  %10.3f ms total\n", o.Op, o.Calls, float64(o.Time)/1e6)
+	}
+	return s
+}

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/kernels"
+	"repro/internal/trace"
+)
+
+// engine is the inter-rank coordinator: it owns the region-name table,
+// point-to-point mailboxes and collective slots. All its virtual-time
+// computations are order-independent so the trace is deterministic even
+// though ranks run as concurrent goroutines.
+type engine struct {
+	cfg *Config
+
+	regMu    sync.Mutex
+	regions  map[string]uint32
+	regOrder []string
+
+	mailMu    sync.Mutex
+	mailboxes map[mailKey]*mailbox
+
+	collMu sync.Mutex
+	colls  []*collSlot
+}
+
+type mailKey struct{ src, dst int32 }
+
+func newEngine(cfg *Config) *engine {
+	return &engine{
+		cfg:       cfg,
+		regions:   make(map[string]uint32),
+		mailboxes: make(map[mailKey]*mailbox),
+	}
+}
+
+// internFixedRegions pre-assigns region ids in a deterministic order:
+// "main", the MPI operation names, then every kernel name and region-span
+// name in sorted kernel order. Runtime interning of undeclared names still
+// works but may produce run-order-dependent ids; declared apps never hit
+// that path.
+func (e *engine) internFixedRegions(ks []*kernels.Kernel) {
+	e.intern("main")
+	for _, op := range trace.AllMPIOps() {
+		e.intern(op.String())
+	}
+	byName := make(map[string]*kernels.Kernel, len(ks))
+	for _, k := range ks {
+		byName[k.Name] = k
+	}
+	for _, name := range sortedKernelNames(ks) {
+		e.intern(name)
+		for _, span := range byName[name].Regions {
+			e.intern(span.Name)
+		}
+	}
+}
+
+// intern returns the stable id for a region name, assigning one if needed.
+// Ids start at 1 to match trace.Builder's numbering, so the assembled
+// trace's tables line up with the ids embedded in sample stacks.
+func (e *engine) intern(name string) uint32 {
+	e.regMu.Lock()
+	defer e.regMu.Unlock()
+	if id, ok := e.regions[name]; ok {
+		return id
+	}
+	id := uint32(len(e.regOrder) + 1)
+	e.regions[name] = id
+	e.regOrder = append(e.regOrder, name)
+	return id
+}
+
+// regionNames returns all interned names in id order.
+func (e *engine) regionNames() []string {
+	e.regMu.Lock()
+	defer e.regMu.Unlock()
+	return append([]string(nil), e.regOrder...)
+}
+
+// ---------------------------------------------------------------------------
+// Point-to-point messaging
+
+// message is a posted but not yet matched send.
+type message struct {
+	tag      int32
+	size     int64
+	sendTime trace.Time
+	// exitCh is non-nil for rendezvous sends; the receiver reports the
+	// common completion time through it.
+	exitCh chan trace.Time
+}
+
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []*message
+}
+
+func (e *engine) mailboxFor(src, dst int32) *mailbox {
+	e.mailMu.Lock()
+	defer e.mailMu.Unlock()
+	k := mailKey{src, dst}
+	mb, ok := e.mailboxes[k]
+	if !ok {
+		mb = &mailbox{}
+		mb.cond = sync.NewCond(&mb.mu)
+		e.mailboxes[k] = mb
+	}
+	return mb
+}
+
+// post enqueues a message from src to dst.
+func (e *engine) post(src, dst int32, m *message) {
+	mb := e.mailboxFor(src, dst)
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, m)
+	mb.mu.Unlock()
+	mb.cond.Broadcast()
+}
+
+// match blocks until a message with the given tag is available from src to
+// dst and removes it from the queue. Matching is FIFO among equal tags,
+// mirroring MPI ordering semantics.
+func (e *engine) match(src, dst int32, tag int32) *message {
+	mb := e.mailboxFor(src, dst)
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.queue {
+			if m.tag == tag {
+				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				return m
+			}
+		}
+		mb.cond.Wait()
+	}
+}
+
+// transferCost is the pure wire cost of a message.
+func (e *engine) transferCost(size int64) trace.Time {
+	return e.cfg.Network.Latency + trace.Time(float64(size)/e.cfg.Network.Bandwidth)
+}
+
+// ---------------------------------------------------------------------------
+// Collectives
+
+// collSlot synchronizes one collective operation instance. Ranks join the
+// slot matching their per-rank collective sequence number; the last rank to
+// arrive computes the common exit time.
+type collSlot struct {
+	mu       sync.Mutex
+	op       trace.MPIOp
+	bytes    int64
+	count    int
+	maxEnter trace.Time
+	exit     trace.Time
+	err      error
+	done     chan struct{}
+}
+
+func (e *engine) slot(idx int) *collSlot {
+	e.collMu.Lock()
+	defer e.collMu.Unlock()
+	for len(e.colls) <= idx {
+		e.colls = append(e.colls, &collSlot{done: make(chan struct{})})
+	}
+	return e.colls[idx]
+}
+
+// collective joins the caller's next collective slot and returns the common
+// exit time. All ranks must call the same operation with the same payload
+// size in the same order; a mismatch is reported as a panic (caught by
+// Run), mirroring the undefined behaviour such programs have under real
+// MPI.
+func (e *engine) collective(seq int, now trace.Time, op trace.MPIOp, bytes int64) trace.Time {
+	s := e.slot(seq)
+	s.mu.Lock()
+	if s.count == 0 {
+		s.op, s.bytes = op, bytes
+	} else if s.op != op || s.bytes != bytes {
+		s.err = fmt.Errorf("collective mismatch at slot %d: %v/%d vs %v/%d", seq, s.op, s.bytes, op, bytes)
+	}
+	s.count++
+	if now > s.maxEnter {
+		s.maxEnter = now
+	}
+	if s.count == e.cfg.Ranks {
+		s.exit = s.maxEnter + e.collectiveCost(op, bytes)
+		close(s.done)
+	}
+	s.mu.Unlock()
+	<-s.done
+	if s.err != nil {
+		panic(s.err)
+	}
+	return s.exit
+}
+
+// collectiveCost models tree-based collectives: log₂(P) stages of
+// latency-plus-transfer, doubled for allreduce (reduce + broadcast) and
+// scaled by P-1 for all-to-all.
+func (e *engine) collectiveCost(op trace.MPIOp, bytes int64) trace.Time {
+	p := e.cfg.Ranks
+	if p == 1 {
+		return 0
+	}
+	stages := trace.Time(math.Ceil(math.Log2(float64(p))))
+	per := e.transferCost(bytes)
+	switch op {
+	case trace.MPIBarrier:
+		return stages * e.cfg.Network.Latency
+	case trace.MPIAllreduce:
+		return 2 * stages * per
+	case trace.MPIBcast, trace.MPIReduce:
+		return stages * per
+	case trace.MPIAlltoall:
+		return trace.Time(p-1) * per
+	default:
+		return stages * per
+	}
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/trace"
+)
+
+// Request is a handle to an outstanding nonblocking operation, completed
+// by Waitall. Requests must be completed on the rank that created them.
+type Request struct {
+	owner  *Rank
+	isSend bool
+	msg    *message   // send requests: the posted message
+	src    int32      // recv requests: matching parameters
+	tag    int32
+	posted trace.Time // recv requests: when the buffer was posted
+	done   bool
+}
+
+// Isend posts a nonblocking send and returns immediately: the message is
+// injected into the network at the current virtual time, and any
+// rendezvous handshake is deferred to Waitall — which is exactly what
+// gives communication/computation overlap. The probe cost of the call is
+// charged like any instrumented MPI function.
+func (r *Rank) Isend(dst int, bytes int64, tag int) *Request {
+	r.checkPeer(dst)
+	r.event(trace.EvMPI, int64(trace.MPIIsend), true)
+	m := r.sendStart(int32(dst), bytes, int32(tag))
+	r.mpiExit()
+	return &Request{owner: r, isSend: true, msg: m}
+}
+
+// Irecv posts a nonblocking receive. Matching is deferred to Waitall; the
+// call itself only costs its probes. Note the simplification relative to
+// real MPI: a blocking Recv posted between this Irecv and its Waitall
+// would match ahead of it, so programs should not interleave the two
+// forms on the same (source, tag).
+func (r *Rank) Irecv(src int, tag int) *Request {
+	r.checkPeer(src)
+	posted := r.now
+	r.event(trace.EvMPI, int64(trace.MPIIrecv), true)
+	r.mpiExit()
+	return &Request{owner: r, src: int32(src), tag: int32(tag), posted: posted}
+}
+
+// Waitall blocks until every request completes, advancing the rank's
+// clock to the latest completion. Requests are processed in argument
+// order (deterministic); completing an already-completed request is an
+// error, as in MPI.
+func (r *Rank) Waitall(reqs ...*Request) {
+	frame := r.mpiEnter(trace.MPIWaitall)
+	for i, req := range reqs {
+		if req == nil {
+			panic(fmt.Sprintf("sim: rank %d Waitall request %d is nil", r.id, i))
+		}
+		if req.owner != r {
+			panic(fmt.Sprintf("sim: rank %d completing rank %d's request", r.id, req.owner.id))
+		}
+		if req.done {
+			panic(fmt.Sprintf("sim: rank %d Waitall request %d already completed", r.id, i))
+		}
+		req.done = true
+		if req.isSend {
+			// Eager sends were already injected at Isend time with the
+			// transfer overlapping computation — the wait is free. Only
+			// rendezvous sends block here, until the receiver set the
+			// common completion time.
+			if req.msg.exitCh != nil {
+				exit := <-req.msg.exitCh
+				r.advanceIdle(exit, frame)
+			}
+		} else {
+			r.recvMatched(req.src, req.tag, frame, req.posted)
+		}
+	}
+	r.mpiExit()
+}

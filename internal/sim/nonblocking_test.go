@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/trace"
+)
+
+func TestIsendIrecvWaitallBasic(t *testing.T) {
+	k := simpleKernel("w", 1, 100_000, 1000)
+	app := &testApp{name: "nb", ks: []*kernels.Kernel{k}, run: func(r *Rank) {
+		if r.Rank() == 0 {
+			req := r.Isend(1, 1024, 7)
+			r.Compute(k)
+			r.Waitall(req)
+		} else {
+			req := r.Irecv(0, 7)
+			r.Compute(k)
+			r.Waitall(req)
+		}
+	}}
+	tr, err := Run(quietConfig(2), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Comms) != 1 {
+		t.Fatalf("comms = %d", len(tr.Comms))
+	}
+	c := tr.Comms[0]
+	// Message sent at ~0; physical arrival = latency + transfer = 2024,
+	// well before the receiver's Waitall at 100 µs (the transfer
+	// overlapped the computation).
+	if c.SendTime != 0 || c.RecvTime != 2024 {
+		t.Fatalf("comm = %+v", c)
+	}
+	// Isend/Irecv/Waitall events all present and balanced.
+	ops := map[trace.MPIOp]int{}
+	for _, e := range tr.Events {
+		if e.Type == trace.EvMPI && e.Value != 0 {
+			ops[trace.MPIOp(e.Value)]++
+		}
+	}
+	if ops[trace.MPIIsend] != 1 || ops[trace.MPIIrecv] != 1 || ops[trace.MPIWaitall] != 2 {
+		t.Fatalf("ops = %v", ops)
+	}
+}
+
+// TestOverlapBeatsBlocking demonstrates the point of nonblocking ops: a
+// rendezvous exchange overlapped with computation finishes earlier than
+// the blocking equivalent.
+func TestOverlapBeatsBlocking(t *testing.T) {
+	k := simpleKernel("w", 1, 5_000_000, 1000) // 5 ms of overlap budget
+	const big = 4 << 20                        // 4 MiB rendezvous: 4 ms transfer + latency
+
+	blocking := &testApp{name: "blk", ks: []*kernels.Kernel{k}, run: func(r *Rank) {
+		peer := 1 - r.Rank()
+		if r.Rank() == 0 {
+			r.Send(peer, big, 1)
+			r.Compute(k)
+		} else {
+			r.Recv(peer, 1)
+			r.Compute(k)
+		}
+		r.Barrier()
+	}}
+	overlapped := &testApp{name: "ovl", ks: []*kernels.Kernel{k}, run: func(r *Rank) {
+		peer := 1 - r.Rank()
+		var req *Request
+		if r.Rank() == 0 {
+			req = r.Isend(peer, big, 1)
+		} else {
+			req = r.Irecv(peer, 1)
+		}
+		r.Compute(k)
+		r.Waitall(req)
+		r.Barrier()
+	}}
+	trB, err := Run(quietConfig(2), blocking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trO, err := Run(quietConfig(2), overlapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trO.Meta.Duration >= trB.Meta.Duration {
+		t.Fatalf("no overlap benefit: %d vs %d", trO.Meta.Duration, trB.Meta.Duration)
+	}
+	// The overlapped version should hide essentially the whole transfer:
+	// duration ≈ compute + barrier, i.e. several ms less.
+	if saved := trB.Meta.Duration - trO.Meta.Duration; saved < 3_000_000 {
+		t.Fatalf("overlap saved only %.2f ms", float64(saved)/1e6)
+	}
+}
+
+func TestWaitallMisuse(t *testing.T) {
+	cases := map[string]func(r *Rank, peer int){
+		"nil request":    func(r *Rank, peer int) { r.Waitall(nil) },
+		"double wait":    func(r *Rank, peer int) { req := r.Irecv(peer, 1); r.Waitall(req); r.Waitall(req) },
+		"foreign owner":  nil, // covered separately below
+	}
+	delete(cases, "foreign owner")
+	for name, f := range cases {
+		app := &testApp{name: "bad", ks: nil, run: func(r *Rank) {
+			peer := 1 - r.Rank()
+			if r.Rank() == 0 {
+				r.Isend(peer, 8, 1) // satisfy the Irecv in double-wait case
+				f(r, peer)
+			} else {
+				r.Isend(0, 8, 1)
+				_ = peer
+			}
+		}}
+		if _, err := Run(quietConfig(2), app); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWaitallMultipleRequests(t *testing.T) {
+	k := simpleKernel("w", 1, 50_000, 100)
+	app := &testApp{name: "multi", ks: []*kernels.Kernel{k}, run: func(r *Rank) {
+		n := r.Ranks()
+		if r.Rank() == 0 {
+			reqs := make([]*Request, 0, 2*(n-1))
+			for p := 1; p < n; p++ {
+				reqs = append(reqs, r.Isend(p, 2048, 3), r.Irecv(p, 4))
+			}
+			r.Compute(k)
+			r.Waitall(reqs...)
+		} else {
+			r.Recv(0, 3)
+			r.Send(0, 2048, 4)
+		}
+	}}
+	tr, err := Run(quietConfig(4), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Comms) != 6 { // 3 outbound + 3 inbound
+		t.Fatalf("comms = %d", len(tr.Comms))
+	}
+}
+
+func TestNonblockingOpsNamed(t *testing.T) {
+	if trace.MPIIsend.String() != "MPI_Isend" || trace.MPIIrecv.String() != "MPI_Irecv" {
+		t.Fatal("op names wrong")
+	}
+	found := 0
+	for _, op := range trace.AllMPIOps() {
+		if op == trace.MPIIsend || op == trace.MPIIrecv {
+			found++
+		}
+		if strings.HasPrefix(op.String(), "MPI_Op_") {
+			t.Fatalf("unnamed op %d in AllMPIOps", op)
+		}
+	}
+	if found != 2 {
+		t.Fatal("nonblocking ops missing from AllMPIOps")
+	}
+}

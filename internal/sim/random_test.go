@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/burst"
+	"repro/internal/counters"
+	"repro/internal/kernels"
+	"repro/internal/trace"
+)
+
+// randomApp generates a random-but-deadlock-free SPMD program: a sequence
+// of steps where every step is either a compute on a random kernel, a
+// collective, or a neighbour exchange. All ranks execute the same step
+// list (SPMD), so matching is guaranteed.
+type randomApp struct {
+	ks    []*kernels.Kernel
+	steps []func(r *Rank)
+}
+
+func (a *randomApp) Name() string               { return "random" }
+func (a *randomApp) Kernels() []*kernels.Kernel { return a.ks }
+func (a *randomApp) Run(r *Rank) {
+	for _, s := range a.steps {
+		s(r)
+	}
+}
+
+func newRandomApp(rng *rand.Rand, nSteps int) *randomApp {
+	a := &randomApp{}
+	shapes := []counters.Shape{
+		counters.Constant(),
+		counters.Linear(0.5, 1.5),
+		counters.ExpDecay(2, 0.2),
+		counters.Sine(0.4, 2),
+	}
+	for k := 0; k < 3; k++ {
+		kn := &kernels.Kernel{
+			Name:         fmt.Sprintf("k%d", k),
+			ID:           int64(k + 1),
+			MeanDuration: trace.Time(100_000 + rng.IntN(2_000_000)),
+			NoiseCV:      0.05 * rng.Float64(),
+			WorkNoiseCV:  0.05 * rng.Float64(),
+		}
+		kn.Counters[counters.TotIns] = kernels.CounterSpec{
+			Total: 1_000_000 + rng.Int64N(50_000_000),
+			Shape: shapes[rng.IntN(len(shapes))],
+		}
+		kn.Counters[counters.L1DCM] = kernels.CounterSpec{
+			Total: rng.Int64N(1_000_000),
+			Shape: shapes[rng.IntN(len(shapes))],
+		}
+		a.ks = append(a.ks, kn)
+	}
+	for s := 0; s < nSteps; s++ {
+		switch rng.IntN(7) {
+		case 0, 1, 2:
+			k := a.ks[rng.IntN(len(a.ks))]
+			a.steps = append(a.steps, func(r *Rank) { r.Compute(k) })
+		case 3:
+			a.steps = append(a.steps, func(r *Rank) { r.Barrier() })
+		case 4:
+			bytes := rng.Int64N(1 << 18)
+			a.steps = append(a.steps, func(r *Rank) { r.Allreduce(bytes) })
+		case 5:
+			bytes := 1 + rng.Int64N(1<<17) // crosses the eager threshold both ways
+			tag := rng.IntN(100)
+			a.steps = append(a.steps, func(r *Rank) {
+				next := (r.Rank() + 1) % r.Ranks()
+				prev := (r.Rank() + r.Ranks() - 1) % r.Ranks()
+				r.Sendrecv(next, bytes, prev, tag, tag)
+			})
+		case 6:
+			it := s
+			a.steps = append(a.steps, func(r *Rank) { r.Iteration(it) })
+		}
+	}
+	// Always end with a barrier so every rank's trace closes cleanly.
+	a.steps = append(a.steps, func(r *Rank) { r.Barrier() })
+	return a
+}
+
+// TestRandomAppsProduceValidTraces is the simulator's property test: any
+// SPMD program built from the Rank API yields a trace satisfying every
+// structural invariant, burst extraction succeeds, and all folded counter
+// values stay within their kernel envelopes.
+func TestRandomAppsProduceValidTraces(t *testing.T) {
+	for trial := 0; trial < 15; trial++ {
+		rng := rand.New(rand.NewPCG(uint64(trial), 777))
+		ranks := 1 + rng.IntN(8)
+		app := newRandomApp(rng, 5+rng.IntN(40))
+		cfg := DefaultConfig(ranks)
+		cfg.Seed = uint64(trial)
+		cfg.Sampling.Period = trace.Time(100_000 + rng.IntN(5_000_000))
+		tr, err := Run(cfg, app)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		bursts, err := burst.Extract(tr)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for _, b := range bursts {
+			if b.Duration() <= 0 {
+				t.Fatalf("trial %d: non-positive burst %+v", trial, b)
+			}
+			for c := range b.Delta {
+				if b.Delta[c] < 0 {
+					t.Fatalf("trial %d: negative counter delta %+v", trial, b)
+				}
+			}
+		}
+		// Determinism: a second identical run matches event for event.
+		tr2, err := Run(cfg, app)
+		if err != nil {
+			t.Fatalf("trial %d rerun: %v", trial, err)
+		}
+		if len(tr2.Events) != len(tr.Events) || tr2.Meta.Duration != tr.Meta.Duration {
+			t.Fatalf("trial %d: nondeterministic run (%d/%d events, %d/%d ns)",
+				trial, len(tr.Events), len(tr2.Events), tr.Meta.Duration, tr2.Meta.Duration)
+		}
+	}
+}

@@ -1,0 +1,391 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/counters"
+	"repro/internal/kernels"
+	"repro/internal/trace"
+)
+
+// Rank is the execution context handed to App.Run — the simulated MPI
+// process. All methods advance the rank's virtual clock and append records
+// to rank-local buffers; none are safe for use from other goroutines.
+type Rank struct {
+	id  int32
+	cfg *Config
+	eng *engine
+	// rng drives application-level randomness (kernel noise); tickRng
+	// drives the sampler clock. Separate streams keep the application's
+	// virtual behaviour identical across sampling configurations, so
+	// overhead comparisons between runs measure only the observation cost.
+	rng     *rand.Rand
+	tickRng *rand.Rand
+	now     trace.Time
+	ctr   counters.Values // absolute counters at `now` (TotCyc derived from time)
+	seq   int             // collective sequence number
+	tick  trace.Time      // next sampler tick (absolute)
+	depth []uint32        // explicit user-region stack (region ids)
+
+	mainRegion uint32
+
+	events  []trace.Event
+	samples []trace.Sample
+	comms   []trace.Comm
+}
+
+func newRank(id int, cfg *Config, eng *engine) *Rank {
+	r := &Rank{
+		id:      int32(id),
+		cfg:     cfg,
+		eng:     eng,
+		rng:     rand.New(rand.NewPCG(cfg.Seed, uint64(id)+0x9e3779b97f4a7c15)),
+		tickRng: rand.New(rand.NewPCG(cfg.Seed^0x5deece66d, uint64(id)+0x2545f4914f6cdd1d)),
+	}
+	r.mainRegion = eng.intern("main")
+	if cfg.Sampling.Period > 0 {
+		// Random initial phase decorrelates the per-rank sampling clocks.
+		r.tick = trace.Time(r.tickRng.Float64() * float64(cfg.Sampling.Period))
+	}
+	return r
+}
+
+// Rank returns this process's rank id.
+func (r *Rank) Rank() int { return int(r.id) }
+
+// Ranks returns the total number of ranks.
+func (r *Rank) Ranks() int { return r.cfg.Ranks }
+
+// Now returns the rank's current virtual time.
+func (r *Rank) Now() trace.Time { return r.now }
+
+// cycles returns the derived cycle counter at time t.
+func (r *Rank) cycles(t trace.Time) int64 {
+	return int64(float64(t) * r.cfg.ClockGHz)
+}
+
+// snapshot returns the counter values at time t with the cycle counter
+// filled in.
+func (r *Rank) snapshot(t trace.Time) counters.Values {
+	v := r.ctr
+	v[counters.TotCyc] = r.cycles(t)
+	return v
+}
+
+// event appends an instrumentation event at the current time and charges
+// the probe overhead. Probes read the hardware counters when they fire, so
+// every event carries a snapshot.
+func (r *Rank) event(typ trace.EventType, value int64, charged bool) {
+	r.events = append(r.events, trace.Event{
+		Rank: r.id, Time: r.now, Type: typ, Value: value,
+		HasCounters: true, Counters: r.snapshot(r.now),
+	})
+	if charged {
+		r.now += r.cfg.Instr.EventOverhead
+	}
+}
+
+// nextTickGap draws the jittered gap to the next sampler tick.
+func (r *Rank) nextTickGap() trace.Time {
+	p := float64(r.cfg.Sampling.Period)
+	j := r.cfg.Sampling.Jitter
+	if j > 0 {
+		p *= 1 + j*(2*r.tickRng.Float64()-1)
+	}
+	g := trace.Time(p)
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
+
+// stackWith builds a call stack with the given innermost frame on top of
+// the user-region stack and main.
+func (r *Rank) stackWith(frames ...uint32) []uint32 {
+	st := make([]uint32, 0, len(frames)+len(r.depth)+1)
+	st = append(st, frames...)
+	for i := len(r.depth) - 1; i >= 0; i-- {
+		st = append(st, r.depth[i])
+	}
+	st = append(st, r.mainRegion)
+	return st
+}
+
+// sample emits one sampler record at time t with the given stack. The
+// caller is responsible for charging Sampling.Overhead where it applies.
+func (r *Rank) sample(t trace.Time, stack []uint32) {
+	r.samples = append(r.samples, trace.Sample{
+		Rank:     r.id,
+		Time:     t,
+		Counters: r.snapshot(t),
+		Stack:    stack,
+	})
+}
+
+// advanceIdle moves the clock to `to`, firing any sampler ticks that land
+// in the interval with the given innermost stack frame and frozen counters.
+// Sampling overhead does not extend waiting: the handler steals cycles the
+// rank was going to spend blocked anyway. Ticks that became overdue while
+// a probe executed fire immediately at the current clock, keeping sample
+// times monotone.
+func (r *Rank) advanceIdle(to trace.Time, frame uint32) {
+	if r.cfg.Sampling.Period > 0 {
+		for r.tick < to {
+			at := r.tick
+			if at < r.now {
+				at = r.now
+			}
+			r.sample(at, r.stackWith(frame))
+			r.tick += r.nextTickGap()
+		}
+	}
+	if to > r.now {
+		r.now = to
+	}
+}
+
+// Compute executes one instance of a kernel: it draws the instance's
+// duration (imbalance × lognormal noise), accrues every counter along the
+// kernel's analytic shapes, and fires any sampler ticks inside the
+// interval, each charged with the sampling overhead (which dilates the
+// computation exactly as a real signal handler does).
+func (r *Rank) Compute(k *kernels.Kernel) {
+	imb := k.ImbalanceOf(int(r.id), r.cfg.Ranks)
+	noise := 1.0
+	if mu, sigma := k.NoiseSigmaMu(); sigma > 0 {
+		noise = math.Exp(mu + sigma*r.rng.NormFloat64())
+	}
+	work := 1.0
+	if mu, sigma := k.WorkNoiseSigmaMu(); sigma > 0 {
+		work = math.Exp(mu + sigma*r.rng.NormFloat64())
+	}
+	d := trace.Time(float64(k.MeanDuration) * imb * work * noise)
+	if d < 1 {
+		d = 1
+	}
+
+	var totals counters.Values
+	for c := range totals {
+		totals[c] = int64(float64(k.TotalOf(counters.Counter(c))) * imb * work)
+	}
+
+	if r.cfg.Instr.Oracle {
+		r.event(trace.EvOracle, k.ID, false)
+	}
+
+	kernelRegion := r.eng.intern(k.Name)
+	base := r.ctr
+	var done trace.Time // pure compute time completed so far
+	if r.cfg.Sampling.Period > 0 {
+		for r.tick < r.now+(d-done) {
+			at := r.tick
+			if at < r.now {
+				at = r.now // tick became overdue during a probe
+			}
+			done += at - r.now
+			r.now = at
+			u := float64(done) / float64(d)
+			for c := range r.ctr {
+				cc := counters.Counter(c)
+				if cc == counters.TotCyc {
+					continue
+				}
+				r.ctr[c] = base[c] + int64(float64(totals[c])*k.ShapeOf(cc).Integral(u)+0.5)
+			}
+			var frames []uint32
+			region := k.RegionAt(u)
+			if region != k.Name {
+				frames = []uint32{r.eng.intern(region), kernelRegion}
+			} else {
+				frames = []uint32{kernelRegion}
+			}
+			r.sample(at, r.stackWith(frames...))
+			r.now += r.cfg.Sampling.Overhead
+			r.tick += r.nextTickGap()
+		}
+	}
+	r.now += d - done
+	for c := range r.ctr {
+		if counters.Counter(c) == counters.TotCyc {
+			continue
+		}
+		r.ctr[c] = base[c] + totals[c]
+	}
+
+	if r.cfg.Instr.Oracle {
+		r.event(trace.EvOracle, 0, false)
+	}
+}
+
+// Iteration emits an iteration marker event.
+func (r *Rank) Iteration(n int) {
+	r.event(trace.EvIteration, int64(n), true)
+}
+
+// RegionEnter emits an instrumented user-region entry and pushes the
+// region onto the rank's stack.
+func (r *Rank) RegionEnter(name string) {
+	id := r.eng.intern(name)
+	r.event(trace.EvRegion, int64(id), true)
+	r.depth = append(r.depth, id)
+}
+
+// RegionExit pops the current user region and emits the exit event.
+func (r *Rank) RegionExit() {
+	if len(r.depth) == 0 {
+		panic(fmt.Sprintf("sim: rank %d RegionExit without matching RegionEnter", r.id))
+	}
+	r.depth = r.depth[:len(r.depth)-1]
+	r.event(trace.EvRegion, 0, true)
+}
+
+// mpiEnter emits the MPI entry event and returns the interned region id of
+// the operation (for sampler stacks while blocked inside it).
+func (r *Rank) mpiEnter(op trace.MPIOp) uint32 {
+	r.event(trace.EvMPI, int64(op), true)
+	return r.eng.intern(op.String())
+}
+
+func (r *Rank) mpiExit() {
+	r.event(trace.EvMPI, 0, true)
+}
+
+// Barrier blocks until every rank has entered the same barrier.
+func (r *Rank) Barrier() {
+	frame := r.mpiEnter(trace.MPIBarrier)
+	exit := r.eng.collective(r.nextSeq(), r.now, trace.MPIBarrier, 0)
+	r.advanceIdle(exit, frame)
+	r.mpiExit()
+}
+
+// Allreduce performs a global reduction of the given payload size.
+func (r *Rank) Allreduce(bytes int64) {
+	frame := r.mpiEnter(trace.MPIAllreduce)
+	exit := r.eng.collective(r.nextSeq(), r.now, trace.MPIAllreduce, bytes)
+	r.advanceIdle(exit, frame)
+	r.mpiExit()
+}
+
+// Bcast broadcasts a payload from root (cost model is root-agnostic).
+func (r *Rank) Bcast(root int, bytes int64) {
+	frame := r.mpiEnter(trace.MPIBcast)
+	exit := r.eng.collective(r.nextSeq(), r.now, trace.MPIBcast, bytes)
+	r.advanceIdle(exit, frame)
+	r.mpiExit()
+}
+
+// Reduce performs a rooted reduction (cost model is root-agnostic, like
+// Bcast).
+func (r *Rank) Reduce(root int, bytes int64) {
+	frame := r.mpiEnter(trace.MPIReduce)
+	exit := r.eng.collective(r.nextSeq(), r.now, trace.MPIReduce, bytes)
+	r.advanceIdle(exit, frame)
+	r.mpiExit()
+}
+
+// Alltoall performs an all-to-all exchange with the given per-pair payload.
+func (r *Rank) Alltoall(bytes int64) {
+	frame := r.mpiEnter(trace.MPIAlltoall)
+	exit := r.eng.collective(r.nextSeq(), r.now, trace.MPIAlltoall, bytes)
+	r.advanceIdle(exit, frame)
+	r.mpiExit()
+}
+
+func (r *Rank) nextSeq() int {
+	s := r.seq
+	r.seq++
+	return s
+}
+
+// Send transmits a message. Sends up to the eager threshold complete after
+// the local injection cost; larger messages rendezvous with the receiver.
+func (r *Rank) Send(dst int, bytes int64, tag int) {
+	r.checkPeer(dst)
+	frame := r.mpiEnter(trace.MPISend)
+	m := r.sendStart(int32(dst), bytes, int32(tag))
+	r.sendFinish(m, frame)
+	r.mpiExit()
+}
+
+// sendStart posts the message without blocking, returning the handle to
+// complete with sendFinish. Splitting the two halves lets Sendrecv post
+// its send before blocking in the receive, which is what keeps symmetric
+// rendezvous exchanges deadlock-free.
+func (r *Rank) sendStart(dst int32, bytes int64, tag int32) *message {
+	m := &message{tag: tag, size: bytes, sendTime: r.now}
+	if bytes > r.cfg.Network.EagerThreshold {
+		m.exitCh = make(chan trace.Time, 1)
+	}
+	r.eng.post(r.id, dst, m)
+	return m
+}
+
+// sendFinish blocks until the send completes and advances the clock.
+func (r *Rank) sendFinish(m *message, frame uint32) {
+	if m.exitCh != nil {
+		exit := <-m.exitCh
+		r.advanceIdle(exit, frame)
+		return
+	}
+	inject := trace.Time(float64(m.size) / r.cfg.Network.Bandwidth)
+	r.advanceIdle(r.now+inject, frame)
+}
+
+// Recv blocks until the matching message arrives and advances the clock to
+// its arrival. The communication record is written by the receiver, which
+// is the first rank to know both endpoints' times.
+func (r *Rank) Recv(src int, tag int) {
+	r.checkPeer(src)
+	frame := r.mpiEnter(trace.MPIRecv)
+	r.recvMatched(int32(src), int32(tag), frame, r.now)
+	r.mpiExit()
+}
+
+// recvMatched completes a receive whose buffer was posted at `ready` (the
+// current time for blocking receives; the Irecv time for nonblocking
+// ones — which is what lets a rendezvous transfer overlap computation).
+// The comm record carries the physical data-arrival time; the rank's
+// clock advances to that arrival only if it is still in the future.
+func (r *Rank) recvMatched(src int32, tag int32, frame uint32, ready trace.Time) {
+	m := r.eng.match(src, r.id, tag)
+	var arrival trace.Time
+	if m.exitCh != nil {
+		// Rendezvous: the transfer starts once both sides are ready.
+		start := m.sendTime
+		if ready > start {
+			start = ready
+		}
+		arrival = start + r.eng.transferCost(m.size)
+		m.exitCh <- arrival
+	} else {
+		arrival = m.sendTime + r.eng.transferCost(m.size)
+	}
+	r.comms = append(r.comms, trace.Comm{
+		Src: src, Dst: r.id,
+		SendTime: m.sendTime, RecvTime: arrival,
+		Size: m.size, Tag: tag,
+	})
+	r.advanceIdle(arrival, frame)
+}
+
+// Sendrecv performs the symmetric exchange common in halo swaps: post the
+// send, complete the receive, then complete the send, all under a single
+// MPI_Sendrecv instrumentation span. Posting before receiving keeps
+// symmetric rendezvous exchanges deadlock-free.
+func (r *Rank) Sendrecv(dst int, sendBytes int64, src int, recvTag int, tag int) {
+	r.checkPeer(dst)
+	r.checkPeer(src)
+	frame := r.mpiEnter(trace.MPISendRecv)
+	m := r.sendStart(int32(dst), sendBytes, int32(tag))
+	r.recvMatched(int32(src), int32(recvTag), frame, r.now)
+	r.sendFinish(m, frame)
+	r.mpiExit()
+}
+
+func (r *Rank) checkPeer(peer int) {
+	if peer < 0 || peer >= r.cfg.Ranks {
+		panic(fmt.Sprintf("sim: rank %d references peer %d outside [0,%d)", r.id, peer, r.cfg.Ranks))
+	}
+}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-range, equal-width histogram. Values outside the
+// configured range are clamped into the first or last bin so that the total
+// count always equals the number of observations.
+type Histogram struct {
+	lo, hi float64
+	counts []int64
+	total  int64
+}
+
+// NewHistogram creates a histogram over [lo, hi) with the given number of
+// equal-width bins. It panics if bins < 1 or hi <= lo.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		panic(fmt.Sprintf("stats: histogram needs at least 1 bin, got %d", bins))
+	}
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: invalid histogram range [%g, %g)", lo, hi))
+	}
+	return &Histogram{lo: lo, hi: hi, counts: make([]int64, bins)}
+}
+
+// Add records one observation of x.
+func (h *Histogram) Add(x float64) {
+	h.counts[h.binOf(x)]++
+	h.total++
+}
+
+func (h *Histogram) binOf(x float64) int {
+	if math.IsNaN(x) || x < h.lo {
+		return 0
+	}
+	f := (x - h.lo) / (h.hi - h.lo) * float64(len(h.counts))
+	if f >= float64(len(h.counts)) {
+		return len(h.counts) - 1
+	}
+	return int(f)
+}
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.counts) }
+
+// Count returns the count in bin i.
+func (h *Histogram) Count(i int) int64 { return h.counts[i] }
+
+// Total returns the total number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.hi - h.lo) / float64(len(h.counts))
+	return h.lo + (float64(i)+0.5)*w
+}
+
+// Mode returns the center of the most populated bin; ties resolve to the
+// lowest bin. It returns 0 when the histogram is empty.
+func (h *Histogram) Mode() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	best := 0
+	for i, c := range h.counts {
+		if c > h.counts[best] {
+			best = i
+		}
+	}
+	return h.BinCenter(best)
+}
+
+// ASCII renders a compact textual bar chart, one row per bin, suitable for
+// terminal reports. width is the number of characters of the longest bar.
+func (h *Histogram) ASCII(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	var maxC int64 = 1
+	for _, c := range h.counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b strings.Builder
+	for i, c := range h.counts {
+		bar := int(float64(c) / float64(maxC) * float64(width))
+		fmt.Fprintf(&b, "%12.4g |%-*s| %d\n", h.BinCenter(i), width, strings.Repeat("#", bar), c)
+	}
+	return b.String()
+}

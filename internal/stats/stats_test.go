@@ -1,0 +1,340 @@
+package stats
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestMeanBasic(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3, 4}); got != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", got)
+	}
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v, want 0", got)
+	}
+}
+
+func TestSum(t *testing.T) {
+	if got := Sum([]float64{1.5, 2.5, -1}); got != 3 {
+		t.Fatalf("Sum = %v, want 3", got)
+	}
+}
+
+func TestVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	// population variance is 4; sample variance is 32/7.
+	want := 32.0 / 7.0
+	if got := Variance(xs); !almostEq(got, want, 1e-12) {
+		t.Fatalf("Variance = %v, want %v", got, want)
+	}
+	if got := Variance([]float64{5}); got != 0 {
+		t.Fatalf("Variance single = %v, want 0", got)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, -1, 7, 2}
+	if Min(xs) != -1 || Max(xs) != 7 {
+		t.Fatalf("Min/Max = %v/%v", Min(xs), Max(xs))
+	}
+}
+
+func TestMinPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Min(nil) did not panic")
+		}
+	}()
+	Min(nil)
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{5, 1, 3}); got != 3 {
+		t.Fatalf("odd Median = %v, want 3", got)
+	}
+	if got := Median([]float64{4, 1, 3, 2}); got != 2.5 {
+		t.Fatalf("even Median = %v, want 2.5", got)
+	}
+	// Median must not modify its input.
+	xs := []float64{9, 1, 5}
+	Median(xs)
+	if xs[0] != 9 || xs[1] != 1 || xs[2] != 5 {
+		t.Fatalf("Median modified input: %v", xs)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {-1, 1}, {2, 5},
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := Quantile([]float64{7}, 0.3); got != 7 {
+		t.Fatalf("Quantile singleton = %v, want 7", got)
+	}
+}
+
+func TestQuantileSortedMatchesQuantile(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	xs := make([]float64, 101)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		if a, b := Quantile(xs, q), QuantileSorted(sorted, q); a != b {
+			t.Fatalf("q=%v: Quantile=%v QuantileSorted=%v", q, a, b)
+		}
+	}
+}
+
+func TestMADGaussianConsistency(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 0))
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = 3 + 2*rng.NormFloat64()
+	}
+	mad := MAD(xs)
+	if math.Abs(mad-2) > 0.1 {
+		t.Fatalf("MAD of N(3,2) = %v, want ~2", mad)
+	}
+}
+
+func TestMADRobustToOutliers(t *testing.T) {
+	xs := []float64{1, 1, 1, 1, 1, 1, 1, 1, 1, 1e9}
+	if mad := MAD(xs); mad != 0 {
+		t.Fatalf("MAD = %v, want 0 (outlier must not inflate it)", mad)
+	}
+}
+
+func TestCorrelation(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if got := Correlation(xs, ys); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("perfect positive correlation = %v, want 1", got)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if got := Correlation(xs, neg); !almostEq(got, -1, 1e-12) {
+		t.Fatalf("perfect negative correlation = %v, want -1", got)
+	}
+	if got := Correlation(xs, []float64{3, 3, 3, 3, 3}); got != 0 {
+		t.Fatalf("zero-variance correlation = %v, want 0", got)
+	}
+	if got := Correlation(xs, []float64{1}); got != 0 {
+		t.Fatalf("length-mismatch correlation = %v, want 0", got)
+	}
+}
+
+func TestOnlineMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	xs := make([]float64, 1000)
+	var o Online
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 10
+		o.Add(xs[i])
+	}
+	if !almostEq(o.Mean(), Mean(xs), 1e-10) {
+		t.Fatalf("online mean %v != batch %v", o.Mean(), Mean(xs))
+	}
+	if !almostEq(o.Variance(), Variance(xs), 1e-10) {
+		t.Fatalf("online var %v != batch %v", o.Variance(), Variance(xs))
+	}
+	if o.Min() != Min(xs) || o.Max() != Max(xs) {
+		t.Fatalf("online min/max mismatch")
+	}
+	if o.N() != 1000 {
+		t.Fatalf("N = %d", o.N())
+	}
+}
+
+func TestStdDevMatchesVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got, want := StdDev(xs), math.Sqrt(Variance(xs)); got != want {
+		t.Fatalf("StdDev = %v, want %v", got, want)
+	}
+	var o Online
+	for _, x := range xs {
+		o.Add(x)
+	}
+	if got, want := o.StdDev(), math.Sqrt(o.Variance()); got != want {
+		t.Fatalf("Online.StdDev = %v, want %v", got, want)
+	}
+}
+
+func TestOnlineMergeEdgeCases(t *testing.T) {
+	var a, b Online
+	a.Add(1)
+	a.Add(3)
+	snapshot := a
+	a.Merge(&b) // merging empty changes nothing
+	if a != snapshot {
+		t.Fatal("merge with empty changed the accumulator")
+	}
+	b.Merge(&a) // merging into empty copies
+	if b.N() != 2 || b.Mean() != 2 || b.Min() != 1 || b.Max() != 3 {
+		t.Fatalf("merge into empty = %+v", b)
+	}
+}
+
+func TestOnlineZeroValue(t *testing.T) {
+	var o Online
+	if o.Mean() != 0 || o.Variance() != 0 || o.Min() != 0 || o.Max() != 0 {
+		t.Fatal("zero-value Online must report zeros")
+	}
+}
+
+func TestOnlineMergeProperty(t *testing.T) {
+	// Merging two accumulators must equal accumulating the concatenation.
+	f := func(a, b []float64) bool {
+		var oa, ob, oc Online
+		// Skip pathological magnitudes where the sum of squares overflows
+		// float64 — both batch and online formulas break down there.
+		for _, x := range append(append([]float64(nil), a...), b...) {
+			if math.IsNaN(x) || math.Abs(x) > 1e150 {
+				return true
+			}
+		}
+		for _, x := range a {
+			oa.Add(x)
+			oc.Add(x)
+		}
+		for _, x := range b {
+			ob.Add(x)
+			oc.Add(x)
+		}
+		oa.Merge(&ob)
+		if oa.N() != oc.N() {
+			return false
+		}
+		if oa.N() == 0 {
+			return true
+		}
+		return almostEq(oa.Mean(), oc.Mean(), 1e-6) && almostEq(oa.Variance(), oc.Variance(), 1e-6)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.1 {
+			v := Quantile(xs, q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBasic(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5, 9.99, 10, 15, -3} {
+		h.Add(x)
+	}
+	if h.Total() != 8 {
+		t.Fatalf("Total = %d, want 8", h.Total())
+	}
+	// clamped: -3 → bin0, 10 and 15 → bin4
+	if h.Count(0) != 3 { // 0, 1.9, -3
+		t.Fatalf("bin0 = %d, want 3", h.Count(0))
+	}
+	if h.Count(4) != 3 { // 9.99, 10, 15
+		t.Fatalf("bin4 = %d, want 3", h.Count(4))
+	}
+	if h.Bins() != 5 {
+		t.Fatalf("Bins = %d", h.Bins())
+	}
+}
+
+func TestHistogramBinCenterAndMode(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	if c := h.BinCenter(0); c != 1 {
+		t.Fatalf("BinCenter(0) = %v, want 1", c)
+	}
+	if h.Mode() != 0 {
+		t.Fatalf("empty Mode = %v, want 0", h.Mode())
+	}
+	h.Add(7)
+	h.Add(7.5)
+	h.Add(1)
+	if m := h.Mode(); m != 7 {
+		t.Fatalf("Mode = %v, want 7", m)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewHistogram(0, 10, 0) },
+		func() { NewHistogram(5, 5, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestHistogramTotalEqualsAdds(t *testing.T) {
+	f := func(vals []float64) bool {
+		h := NewHistogram(-1, 1, 7)
+		n := 0
+		for _, v := range vals {
+			h.Add(v)
+			n++
+		}
+		var sum int64
+		for i := 0; i < h.Bins(); i++ {
+			sum += h.Count(i)
+		}
+		return h.Total() == int64(n) && sum == int64(n)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramASCII(t *testing.T) {
+	h := NewHistogram(0, 4, 2)
+	h.Add(1)
+	h.Add(3)
+	h.Add(3.5)
+	s := h.ASCII(10)
+	if s == "" {
+		t.Fatal("empty ASCII output")
+	}
+	if got := h.ASCII(0); got == "" {
+		t.Fatal("ASCII with width<1 should use default width")
+	}
+}

@@ -1,0 +1,182 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/counters"
+)
+
+// Builder accumulates per-rank record streams during trace generation and
+// assembles them into a sorted, validated Trace. A Builder is not safe for
+// concurrent use; the simulator is sequential by design.
+type Builder struct {
+	meta    Metadata
+	events  []Event
+	samples []Sample
+	comms   []Comm
+
+	lastEventTime  map[int32]Time
+	lastSampleTime map[int32]Time
+	lastEvCounters map[int32]counterSnapshot
+	lastSmCounters map[int32]counterSnapshot
+	nextRegion     uint32
+	regionIDs      map[string]uint32
+}
+
+type counterSnapshot struct {
+	valid bool
+	v     counters.Values
+}
+
+// NewBuilder creates a Builder for a run with the given application name
+// and rank count.
+func NewBuilder(app string, ranks int) *Builder {
+	if ranks < 1 {
+		panic(fmt.Sprintf("trace: invalid rank count %d", ranks))
+	}
+	return &Builder{
+		meta: Metadata{
+			App:     app,
+			Ranks:   ranks,
+			Regions: make(map[uint32]string),
+			Params:  make(map[string]string),
+		},
+		lastEventTime:  make(map[int32]Time),
+		lastSampleTime: make(map[int32]Time),
+		lastEvCounters: make(map[int32]counterSnapshot),
+		lastSmCounters: make(map[int32]counterSnapshot),
+		nextRegion:     1, // id 0 reserved: "unresolved"
+		regionIDs:      make(map[string]uint32),
+	}
+}
+
+// SetSamplePeriod records the nominal sampler period in the metadata.
+func (b *Builder) SetSamplePeriod(p Time) { b.meta.SamplePeriod = p }
+
+// SetSeed records the generator seed in the metadata.
+func (b *Builder) SetSeed(seed uint64) { b.meta.Seed = seed }
+
+// SetParam records a free-form generator parameter.
+func (b *Builder) SetParam(key, value string) { b.meta.Params[key] = value }
+
+// Region interns a region name and returns its id. Repeated calls with the
+// same name return the same id.
+func (b *Builder) Region(name string) uint32 {
+	if id, ok := b.regionIDs[name]; ok {
+		return id
+	}
+	id := b.nextRegion
+	b.nextRegion++
+	b.regionIDs[name] = id
+	b.meta.Regions[id] = name
+	return id
+}
+
+// Event appends an instrumentation event without counters. Events of one
+// rank must be appended in non-decreasing time order.
+func (b *Builder) Event(rank int32, t Time, typ EventType, value int64) {
+	b.checkRank(rank)
+	if last, ok := b.lastEventTime[rank]; ok && t < last {
+		panic(fmt.Sprintf("trace: rank %d event at %d before previous event at %d", rank, t, last))
+	}
+	b.lastEventTime[rank] = t
+	b.events = append(b.events, Event{Rank: rank, Time: t, Type: typ, Value: value})
+}
+
+// EventC appends an instrumentation event carrying a counter snapshot, as
+// a probe that reads the hardware counters produces. The rank's counter
+// stream (events and samples combined, in emission order) must be
+// monotone non-decreasing.
+func (b *Builder) EventC(rank int32, t Time, typ EventType, value int64, vals []int64) {
+	b.checkRank(rank)
+	if last, ok := b.lastEventTime[rank]; ok && t < last {
+		panic(fmt.Sprintf("trace: rank %d event at %d before previous event at %d", rank, t, last))
+	}
+	b.lastEventTime[rank] = t
+	e := Event{Rank: rank, Time: t, Type: typ, Value: value, HasCounters: true}
+	if len(vals) > len(e.Counters) {
+		panic(fmt.Sprintf("trace: %d counter values exceed capacity %d", len(vals), len(e.Counters)))
+	}
+	prev := b.lastEvCounters[rank]
+	for i, v := range vals {
+		if prev.valid && v < prev.v[i] {
+			panic(fmt.Sprintf("trace: rank %d counter %d decreased: %d < %d", rank, i, v, prev.v[i]))
+		}
+		e.Counters[i] = v
+		prev.v[i] = v
+	}
+	prev.valid = true
+	b.lastEvCounters[rank] = prev
+	b.events = append(b.events, e)
+}
+
+// Sample appends a sampler record. Samples of one rank must be appended in
+// non-decreasing time order with non-decreasing counters.
+func (b *Builder) Sample(rank int32, t Time, vals []int64, stack []uint32) {
+	b.checkRank(rank)
+	if last, ok := b.lastSampleTime[rank]; ok && t < last {
+		panic(fmt.Sprintf("trace: rank %d sample at %d before previous sample at %d", rank, t, last))
+	}
+	b.lastSampleTime[rank] = t
+	var s Sample
+	s.Rank = rank
+	s.Time = t
+	if len(vals) > len(s.Counters) {
+		panic(fmt.Sprintf("trace: %d counter values exceed capacity %d", len(vals), len(s.Counters)))
+	}
+	prev := b.lastSmCounters[rank]
+	for i, v := range vals {
+		if prev.valid && v < prev.v[i] {
+			panic(fmt.Sprintf("trace: rank %d counter %d decreased: %d < %d", rank, i, v, prev.v[i]))
+		}
+		s.Counters[i] = v
+		prev.v[i] = v
+	}
+	prev.valid = true
+	b.lastSmCounters[rank] = prev
+	if len(stack) > 0 {
+		s.Stack = append([]uint32(nil), stack...)
+	}
+	b.samples = append(b.samples, s)
+}
+
+// Comm appends a point-to-point communication record.
+func (b *Builder) Comm(src, dst int32, sendTime, recvTime Time, size int64, tag int32) {
+	b.checkRank(src)
+	b.checkRank(dst)
+	if recvTime < sendTime {
+		panic(fmt.Sprintf("trace: comm recv %d before send %d", recvTime, sendTime))
+	}
+	b.comms = append(b.comms, Comm{Src: src, Dst: dst, SendTime: sendTime, RecvTime: recvTime, Size: size, Tag: tag})
+}
+
+func (b *Builder) checkRank(rank int32) {
+	if rank < 0 || int(rank) >= b.meta.Ranks {
+		panic(fmt.Sprintf("trace: rank %d out of range [0, %d)", rank, b.meta.Ranks))
+	}
+}
+
+// Build finalizes the trace: computes duration, sorts records and returns
+// the assembled Trace. The Builder must not be used afterwards.
+func (b *Builder) Build() *Trace {
+	var end Time
+	for _, e := range b.events {
+		if e.Time > end {
+			end = e.Time
+		}
+	}
+	for _, s := range b.samples {
+		if s.Time > end {
+			end = s.Time
+		}
+	}
+	for _, c := range b.comms {
+		if c.RecvTime > end {
+			end = c.RecvTime
+		}
+	}
+	b.meta.Duration = end
+	tr := &Trace{Meta: b.meta, Events: b.events, Samples: b.samples, Comms: b.comms}
+	tr.Sort()
+	return tr
+}

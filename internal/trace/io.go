@@ -1,0 +1,329 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/counters"
+)
+
+// Binary trace format ("UVT1"):
+//
+//	magic       [4]byte  "UVT1"
+//	metaLen     uvarint
+//	meta        JSON (Metadata)
+//	eventCount  uvarint, then events   (delta-encoded times per record)
+//	sampleCount uvarint, then samples
+//	commCount   uvarint, then comms
+//
+// Integers use varint/uvarint encoding; timestamps within each section are
+// delta-encoded against the previous record in the section (records are
+// stored in canonical sorted order, so deltas are non-negative and small).
+
+var magic = [4]byte{'U', 'V', 'T', '1'}
+
+// ErrBadFormat is wrapped by all decode errors caused by malformed input.
+var ErrBadFormat = errors.New("trace: malformed trace data")
+
+// Write encodes the trace to w in the binary format. The trace must be
+// sorted (Build and ReadFrom both guarantee this).
+func (tr *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(magic[:]); err != nil {
+		return err
+	}
+	meta, err := json.Marshal(&tr.Meta)
+	if err != nil {
+		return fmt.Errorf("trace: encoding metadata: %w", err)
+	}
+	buf := make([]byte, 0, 64)
+	buf = binary.AppendUvarint(buf, uint64(len(meta)))
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	if _, err := bw.Write(meta); err != nil {
+		return err
+	}
+
+	// Events.
+	buf = binary.AppendUvarint(buf[:0], uint64(len(tr.Events)))
+	var prev Time
+	for _, e := range tr.Events {
+		buf = binary.AppendUvarint(buf, uint64(e.Time-prev))
+		prev = e.Time
+		buf = binary.AppendUvarint(buf, uint64(e.Rank))
+		buf = append(buf, byte(e.Type))
+		buf = binary.AppendVarint(buf, e.Value)
+		if e.HasCounters {
+			buf = append(buf, 1)
+			for _, v := range e.Counters {
+				buf = binary.AppendVarint(buf, v)
+			}
+		} else {
+			buf = append(buf, 0)
+		}
+		if len(buf) >= 1<<16 {
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+
+	// Samples.
+	buf = binary.AppendUvarint(buf[:0], uint64(len(tr.Samples)))
+	prev = 0
+	for _, s := range tr.Samples {
+		buf = binary.AppendUvarint(buf, uint64(s.Time-prev))
+		prev = s.Time
+		buf = binary.AppendUvarint(buf, uint64(s.Rank))
+		for _, v := range s.Counters {
+			buf = binary.AppendVarint(buf, v)
+		}
+		buf = binary.AppendUvarint(buf, uint64(len(s.Stack)))
+		for _, f := range s.Stack {
+			buf = binary.AppendUvarint(buf, uint64(f))
+		}
+		if len(buf) >= 1<<16 {
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+
+	// Comms.
+	buf = binary.AppendUvarint(buf[:0], uint64(len(tr.Comms)))
+	prev = 0
+	for _, c := range tr.Comms {
+		buf = binary.AppendUvarint(buf, uint64(c.SendTime-prev))
+		prev = c.SendTime
+		buf = binary.AppendVarint(buf, int64(c.RecvTime-c.SendTime))
+		buf = binary.AppendUvarint(buf, uint64(c.Src))
+		buf = binary.AppendUvarint(buf, uint64(c.Dst))
+		buf = binary.AppendVarint(buf, c.Size)
+		buf = binary.AppendVarint(buf, int64(c.Tag))
+		if len(buf) >= 1<<16 {
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+			buf = buf[:0]
+		}
+	}
+	if _, err := bw.Write(buf); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadFrom decodes a trace from r.
+func ReadFrom(r io.Reader) (*Trace, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrBadFormat, err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, m)
+	}
+	metaLen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: metadata length: %v", ErrBadFormat, err)
+	}
+	if metaLen > 1<<30 {
+		return nil, fmt.Errorf("%w: metadata length %d too large", ErrBadFormat, metaLen)
+	}
+	metaBuf := make([]byte, metaLen)
+	if _, err := io.ReadFull(br, metaBuf); err != nil {
+		return nil, fmt.Errorf("%w: metadata body: %v", ErrBadFormat, err)
+	}
+	tr := &Trace{}
+	if err := json.Unmarshal(metaBuf, &tr.Meta); err != nil {
+		return nil, fmt.Errorf("%w: metadata JSON: %v", ErrBadFormat, err)
+	}
+
+	// Events.
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: event count: %v", ErrBadFormat, err)
+	}
+	if n > 1<<34 {
+		return nil, fmt.Errorf("%w: event count %d too large", ErrBadFormat, n)
+	}
+	tr.Events = make([]Event, 0, min64(n, 1<<20))
+	var prev Time
+	for i := uint64(0); i < n; i++ {
+		dt, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: event %d time: %v", ErrBadFormat, i, err)
+		}
+		rank, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: event %d rank: %v", ErrBadFormat, i, err)
+		}
+		typ, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: event %d type: %v", ErrBadFormat, i, err)
+		}
+		val, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: event %d value: %v", ErrBadFormat, i, err)
+		}
+		flag, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: event %d counter flag: %v", ErrBadFormat, i, err)
+		}
+		prev += Time(dt)
+		e := Event{Rank: int32(rank), Time: prev, Type: EventType(typ), Value: val}
+		switch flag {
+		case 0:
+		case 1:
+			e.HasCounters = true
+			for c := 0; c < int(counters.NumCounters); c++ {
+				v, err := binary.ReadVarint(br)
+				if err != nil {
+					return nil, fmt.Errorf("%w: event %d counter %d: %v", ErrBadFormat, i, c, err)
+				}
+				e.Counters[c] = v
+			}
+		default:
+			return nil, fmt.Errorf("%w: event %d has invalid counter flag %d", ErrBadFormat, i, flag)
+		}
+		tr.Events = append(tr.Events, e)
+	}
+
+	// Samples.
+	n, err = binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: sample count: %v", ErrBadFormat, err)
+	}
+	if n > 1<<34 {
+		return nil, fmt.Errorf("%w: sample count %d too large", ErrBadFormat, n)
+	}
+	tr.Samples = make([]Sample, 0, min64(n, 1<<20))
+	prev = 0
+	for i := uint64(0); i < n; i++ {
+		dt, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: sample %d time: %v", ErrBadFormat, i, err)
+		}
+		rank, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: sample %d rank: %v", ErrBadFormat, i, err)
+		}
+		var s Sample
+		prev += Time(dt)
+		s.Time = prev
+		s.Rank = int32(rank)
+		for c := 0; c < int(counters.NumCounters); c++ {
+			v, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, fmt.Errorf("%w: sample %d counter %d: %v", ErrBadFormat, i, c, err)
+			}
+			s.Counters[c] = v
+		}
+		depth, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: sample %d stack depth: %v", ErrBadFormat, i, err)
+		}
+		if depth > 1024 {
+			return nil, fmt.Errorf("%w: sample %d stack depth %d too large", ErrBadFormat, i, depth)
+		}
+		if depth > 0 {
+			s.Stack = make([]uint32, depth)
+			for d := range s.Stack {
+				f, err := binary.ReadUvarint(br)
+				if err != nil {
+					return nil, fmt.Errorf("%w: sample %d frame %d: %v", ErrBadFormat, i, d, err)
+				}
+				s.Stack[d] = uint32(f)
+			}
+		}
+		tr.Samples = append(tr.Samples, s)
+	}
+
+	// Comms.
+	n, err = binary.ReadUvarint(br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: comm count: %v", ErrBadFormat, err)
+	}
+	if n > 1<<34 {
+		return nil, fmt.Errorf("%w: comm count %d too large", ErrBadFormat, n)
+	}
+	tr.Comms = make([]Comm, 0, min64(n, 1<<20))
+	prev = 0
+	for i := uint64(0); i < n; i++ {
+		dt, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: comm %d send time: %v", ErrBadFormat, i, err)
+		}
+		lat, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: comm %d latency: %v", ErrBadFormat, i, err)
+		}
+		src, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: comm %d src: %v", ErrBadFormat, i, err)
+		}
+		dst, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: comm %d dst: %v", ErrBadFormat, i, err)
+		}
+		size, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: comm %d size: %v", ErrBadFormat, i, err)
+		}
+		tag, err := binary.ReadVarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("%w: comm %d tag: %v", ErrBadFormat, i, err)
+		}
+		prev += Time(dt)
+		tr.Comms = append(tr.Comms, Comm{
+			Src: int32(src), Dst: int32(dst),
+			SendTime: prev, RecvTime: prev + Time(lat),
+			Size: size, Tag: int32(tag),
+		})
+	}
+	return tr, nil
+}
+
+// WriteFile writes the trace to a file.
+func (tr *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a trace from a file.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadFrom(f)
+}
+
+func min64(a uint64, b int) int {
+	if a < uint64(b) {
+		return int(a)
+	}
+	return b
+}

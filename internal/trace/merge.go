@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Merge combines per-process partial traces into one global trace, the
+// way Extrae's mpi2prv merges the files each rank wrote locally. Every
+// input must describe the same run: identical rank counts and application
+// names, compatible region tables (same id → same name), and pairwise
+// disjoint sets of ranks actually carrying records. Communication records
+// are deduplicated by their full identity (the receiver writes the record
+// in our pipeline, but tolerating sender-written duplicates keeps the
+// merger usable for other producers).
+func Merge(parts []*Trace) (*Trace, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("trace: nothing to merge")
+	}
+	first := parts[0]
+	out := &Trace{Meta: Metadata{
+		App:          first.Meta.App,
+		Ranks:        first.Meta.Ranks,
+		SamplePeriod: first.Meta.SamplePeriod,
+		Seed:         first.Meta.Seed,
+		Regions:      map[uint32]string{},
+		Params:       map[string]string{},
+	}}
+
+	seenRank := make(map[int32]int) // rank → part index that contributed it
+	type commKey struct {
+		src, dst           int32
+		sendTime, recvTime Time
+		size               int64
+		tag                int32
+	}
+	seenComm := make(map[commKey]bool)
+
+	for pi, p := range parts {
+		if p.Meta.App != out.Meta.App {
+			return nil, fmt.Errorf("trace: merging different applications %q and %q", out.Meta.App, p.Meta.App)
+		}
+		if p.Meta.Ranks != out.Meta.Ranks {
+			return nil, fmt.Errorf("trace: merging different rank counts %d and %d", out.Meta.Ranks, p.Meta.Ranks)
+		}
+		for id, name := range p.Meta.Regions {
+			if prev, ok := out.Meta.Regions[id]; ok && prev != name {
+				return nil, fmt.Errorf("trace: region id %d is %q in one part and %q in another", id, prev, name)
+			}
+			out.Meta.Regions[id] = name
+		}
+		for k, v := range p.Meta.Params {
+			out.Meta.Params[k] = v
+		}
+		if p.Meta.Duration > out.Meta.Duration {
+			out.Meta.Duration = p.Meta.Duration
+		}
+
+		ranksInPart := map[int32]bool{}
+		for _, e := range p.Events {
+			ranksInPart[e.Rank] = true
+		}
+		for _, s := range p.Samples {
+			ranksInPart[s.Rank] = true
+		}
+		for r := range ranksInPart {
+			if prev, ok := seenRank[r]; ok {
+				return nil, fmt.Errorf("trace: rank %d appears in parts %d and %d", r, prev, pi)
+			}
+			seenRank[r] = pi
+		}
+
+		out.Events = append(out.Events, p.Events...)
+		out.Samples = append(out.Samples, p.Samples...)
+		for _, c := range p.Comms {
+			k := commKey{c.Src, c.Dst, c.SendTime, c.RecvTime, c.Size, c.Tag}
+			if seenComm[k] {
+				continue
+			}
+			seenComm[k] = true
+			out.Comms = append(out.Comms, c)
+		}
+	}
+	out.Sort()
+	return out, nil
+}
+
+// SplitByRank partitions a trace into per-rank partial traces (the inverse
+// of Merge): part i holds rank i's events and samples plus the
+// communication records rank i received. Ranks without any records still
+// yield an (empty) part so Merge can reassemble the original.
+func (tr *Trace) SplitByRank() []*Trace {
+	parts := make([]*Trace, tr.Meta.Ranks)
+	for r := range parts {
+		parts[r] = &Trace{Meta: tr.Meta}
+		parts[r].Meta.Regions = tr.Meta.Regions
+		parts[r].Meta.Params = tr.Meta.Params
+	}
+	for _, e := range tr.Events {
+		parts[e.Rank].Events = append(parts[e.Rank].Events, e)
+	}
+	for _, s := range tr.Samples {
+		parts[s.Rank].Samples = append(parts[s.Rank].Samples, s)
+	}
+	for _, c := range tr.Comms {
+		parts[c.Dst].Comms = append(parts[c.Dst].Comms, c)
+	}
+	// Per-part duration stays the global duration (the run ended when the
+	// last rank ended); keep records sorted.
+	for _, p := range parts {
+		p.Sort()
+	}
+	return parts
+}
+
+// Ranks returns the sorted list of ranks that actually carry records.
+func (tr *Trace) Ranks() []int32 {
+	set := map[int32]bool{}
+	for _, e := range tr.Events {
+		set[e.Rank] = true
+	}
+	for _, s := range tr.Samples {
+		set[s.Rank] = true
+	}
+	out := make([]int32, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,111 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSplitMergeRoundTrip(t *testing.T) {
+	tr := buildSmallTrace(t)
+	parts := tr.SplitByRank()
+	if len(parts) != 2 {
+		t.Fatalf("parts = %d", len(parts))
+	}
+	merged, err := Merge(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(merged.Events, tr.Events) {
+		t.Fatalf("events differ after split+merge")
+	}
+	if !reflect.DeepEqual(merged.Samples, tr.Samples) {
+		t.Fatalf("samples differ after split+merge")
+	}
+	if !reflect.DeepEqual(merged.Comms, tr.Comms) {
+		t.Fatalf("comms differ after split+merge")
+	}
+	if merged.Meta.Duration != tr.Meta.Duration {
+		t.Fatalf("duration = %d, want %d", merged.Meta.Duration, tr.Meta.Duration)
+	}
+}
+
+func TestSplitPartsAreRankLocal(t *testing.T) {
+	tr := buildSmallTrace(t)
+	parts := tr.SplitByRank()
+	for r, p := range parts {
+		for _, e := range p.Events {
+			if e.Rank != int32(r) {
+				t.Fatalf("part %d has event of rank %d", r, e.Rank)
+			}
+		}
+		for _, s := range p.Samples {
+			if s.Rank != int32(r) {
+				t.Fatalf("part %d has sample of rank %d", r, s.Rank)
+			}
+		}
+		for _, c := range p.Comms {
+			if c.Dst != int32(r) {
+				t.Fatalf("part %d has comm destined to %d", r, c.Dst)
+			}
+		}
+	}
+}
+
+func TestMergeRejectsOverlapsAndMismatches(t *testing.T) {
+	tr := buildSmallTrace(t)
+	parts := tr.SplitByRank()
+
+	if _, err := Merge(nil); err == nil {
+		t.Fatal("empty merge accepted")
+	}
+	// Overlapping ranks.
+	if _, err := Merge([]*Trace{parts[0], parts[0]}); err == nil {
+		t.Fatal("overlapping ranks accepted")
+	}
+	// Different app.
+	other := *parts[1]
+	other.Meta.App = "different"
+	if _, err := Merge([]*Trace{parts[0], &other}); err == nil {
+		t.Fatal("different apps accepted")
+	}
+	// Different rank counts.
+	other2 := *parts[1]
+	other2.Meta.Ranks = 5
+	if _, err := Merge([]*Trace{parts[0], &other2}); err == nil {
+		t.Fatal("different rank counts accepted")
+	}
+	// Conflicting region tables.
+	other3 := *parts[1]
+	other3.Meta.Regions = map[uint32]string{1: "clash"}
+	if _, err := Merge([]*Trace{parts[0], &other3}); err == nil {
+		t.Fatal("conflicting regions accepted")
+	}
+}
+
+func TestMergeDeduplicatesComms(t *testing.T) {
+	tr := buildSmallTrace(t)
+	parts := tr.SplitByRank()
+	// Duplicate rank 1's comm into rank 0's part (sender-side record).
+	parts[0].Comms = append(parts[0].Comms, parts[1].Comms...)
+	merged, err := Merge(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Comms) != len(tr.Comms) {
+		t.Fatalf("comms = %d, want %d (duplicates kept?)", len(merged.Comms), len(tr.Comms))
+	}
+}
+
+func TestRanksList(t *testing.T) {
+	tr := buildSmallTrace(t)
+	if got := tr.Ranks(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("Ranks = %v", got)
+	}
+	parts := tr.SplitByRank()
+	if got := parts[1].Ranks(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("part Ranks = %v", got)
+	}
+}

@@ -1,0 +1,156 @@
+package trace
+
+import "repro/internal/counters"
+
+// Slice returns the sub-trace covering the time window [from, to),
+// re-based to time 0. Slicing is how analysts zoom a long run into its
+// steady-state region before clustering, discarding initialization and
+// teardown.
+//
+// MPI enter/exit alternation is kept balanced across the cuts: a rank that
+// was inside an MPI call at `from` gets a synthetic enter at time 0
+// (marked MPI_Waitall, carrying the rank's last pre-window counter
+// snapshot), and a rank still inside a call at `to` gets a synthetic exit
+// at the window end (carrying its latest in-window snapshot). The returned
+// trace shares no mutable state with the input and validates.
+func (tr *Trace) Slice(from, to Time) *Trace {
+	if from < 0 {
+		from = 0
+	}
+	if to > tr.Meta.Duration {
+		to = tr.Meta.Duration
+	}
+	if to < from {
+		to = from
+	}
+
+	out := &Trace{Meta: tr.Meta}
+	out.Meta.Duration = to - from
+	out.Meta.Regions = make(map[uint32]string, len(tr.Meta.Regions))
+	for k, v := range tr.Meta.Regions {
+		out.Meta.Regions[k] = v
+	}
+	out.Meta.Params = make(map[string]string, len(tr.Meta.Params)+2)
+	for k, v := range tr.Meta.Params {
+		out.Meta.Params[k] = v
+	}
+	out.Meta.Params["slice_from_ns"] = itoa(int64(from))
+	out.Meta.Params["slice_to_ns"] = itoa(int64(to))
+
+	// Pre-window pass: per-rank MPI state and last counter snapshot.
+	inMPI := make(map[int32]bool)
+	preCtr := make(map[int32]counters.Values)
+	havePre := make(map[int32]bool)
+	for _, e := range tr.Events {
+		if e.Time >= from {
+			break
+		}
+		if e.Type == EvMPI {
+			inMPI[e.Rank] = e.Value != 0
+		}
+		if e.HasCounters {
+			preCtr[e.Rank] = e.Counters
+			havePre[e.Rank] = true
+		}
+	}
+
+	// Synthetic enters for ranks cut mid-call.
+	for rank, in := range inMPI {
+		if !in {
+			continue
+		}
+		se := Event{Rank: rank, Time: 0, Type: EvMPI, Value: int64(MPIWaitall)}
+		if havePre[rank] {
+			se.HasCounters = true
+			se.Counters = preCtr[rank]
+		}
+		out.Events = append(out.Events, se)
+	}
+
+	// In-window events, re-based.
+	stillIn := make(map[int32]bool)
+	for rank, in := range inMPI {
+		stillIn[rank] = in
+	}
+	lastCtr := make(map[int32]counters.Values)
+	haveLast := make(map[int32]bool)
+	for r, v := range preCtr {
+		lastCtr[r], haveLast[r] = v, true
+	}
+	for _, e := range tr.Events {
+		if e.Time < from {
+			continue
+		}
+		if e.Time >= to {
+			break
+		}
+		ne := e
+		ne.Time = e.Time - from
+		out.Events = append(out.Events, ne)
+		if e.Type == EvMPI {
+			stillIn[e.Rank] = e.Value != 0
+		}
+		if e.HasCounters {
+			lastCtr[e.Rank] = e.Counters
+			haveLast[e.Rank] = true
+		}
+	}
+
+	// Synthetic exits for ranks still inside a call at the window end.
+	for rank, in := range stillIn {
+		if !in {
+			continue
+		}
+		se := Event{Rank: rank, Time: out.Meta.Duration, Type: EvMPI, Value: 0}
+		if haveLast[rank] {
+			se.HasCounters = true
+			se.Counters = lastCtr[rank]
+		}
+		out.Events = append(out.Events, se)
+	}
+
+	for _, s := range tr.Samples {
+		if s.Time < from || s.Time >= to {
+			continue
+		}
+		ns := s
+		ns.Time = s.Time - from
+		if len(s.Stack) > 0 {
+			ns.Stack = append([]uint32(nil), s.Stack...)
+		}
+		out.Samples = append(out.Samples, ns)
+	}
+	for _, c := range tr.Comms {
+		if c.SendTime < from || c.RecvTime >= to {
+			continue
+		}
+		nc := c
+		nc.SendTime = c.SendTime - from
+		nc.RecvTime = c.RecvTime - from
+		out.Comms = append(out.Comms, nc)
+	}
+	out.Sort()
+	return out
+}
+
+func itoa(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

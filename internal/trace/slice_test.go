@@ -1,0 +1,219 @@
+package trace
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+// sliceSource builds a 1-rank trace:
+//
+//	compute [0,100) | MPI [100,200] | compute [200,300) | MPI [300,400] | compute [400,500)
+//
+// with samples every 50 ns and counters on every probe.
+func sliceSource(t *testing.T) *Trace {
+	t.Helper()
+	b := NewBuilder("s", 1)
+	b.EventC(0, 100, EvMPI, int64(MPIBarrier), []int64{100})
+	b.EventC(0, 200, EvMPI, 0, []int64{100})
+	b.EventC(0, 300, EvMPI, int64(MPIAllreduce), []int64{200})
+	b.EventC(0, 400, EvMPI, 0, []int64{200})
+	b.Event(0, 500, EvIteration, 1)
+	for ts := Time(0); ts < 500; ts += 50 {
+		ins := int64(0)
+		switch {
+		case ts < 100:
+			ins = int64(ts)
+		case ts < 200:
+			ins = 100
+		case ts < 300:
+			ins = 100 + int64(ts-200)
+		case ts < 400:
+			ins = 200
+		default:
+			ins = 200 + int64(ts-400)
+		}
+		b.Sample(0, ts, []int64{ins}, nil)
+	}
+	return b.Build()
+}
+
+func TestSliceBasicWindow(t *testing.T) {
+	tr := sliceSource(t)
+	sl := tr.Slice(200, 400)
+	if err := sl.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if sl.Meta.Duration != 200 {
+		t.Fatalf("duration = %d", sl.Meta.Duration)
+	}
+	// The barrier's exit at t=200 falls inside [200,400), so the rank was
+	// "inside MPI" at the cut: a synthetic enter at 0 pairs with the real
+	// exit (rebased to 0). The allreduce enter at 300→100 pairs with a
+	// synthetic exit at the window end (its real exit at 400 is outside).
+	var enters, exits int
+	for _, e := range sl.Events {
+		if e.Type == EvMPI {
+			if e.Value != 0 {
+				enters++
+			} else {
+				exits++
+			}
+		}
+	}
+	if enters != 2 || exits != 2 {
+		t.Fatalf("enters/exits = %d/%d: %+v", enters, exits, sl.Events)
+	}
+	last := sl.Events[len(sl.Events)-1]
+	if last.Type != EvMPI || last.Value != 0 || last.Time != 200 {
+		t.Fatalf("missing synthetic exit at window end: %+v", last)
+	}
+	// Samples rebased: times 200..350 → 0..150.
+	if len(sl.Samples) != 4 {
+		t.Fatalf("samples = %d", len(sl.Samples))
+	}
+	if sl.Samples[0].Time != 0 || sl.Samples[3].Time != 150 {
+		t.Fatalf("sample times = %v, %v", sl.Samples[0].Time, sl.Samples[3].Time)
+	}
+	if sl.Meta.Params["slice_from_ns"] != "200" || sl.Meta.Params["slice_to_ns"] != "400" {
+		t.Fatalf("slice params = %v", sl.Meta.Params)
+	}
+}
+
+func TestSliceCutMidMPI(t *testing.T) {
+	tr := sliceSource(t)
+	// Window [150, 350): cuts into the barrier (inside at 150) and into
+	// the allreduce (still inside at 350).
+	sl := tr.Slice(150, 350)
+	if err := sl.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// Synthetic enter at 0 (we were inside the barrier), real exit at 50;
+	// real enter at 150, synthetic exit at 200.
+	var first, last Event
+	for _, e := range sl.Events {
+		if e.Type == EvMPI {
+			if first == (Event{}) {
+				first = e
+			}
+			last = e
+		}
+	}
+	if first.Time != 0 || first.Value == 0 {
+		t.Fatalf("first MPI event = %+v, want synthetic enter at 0", first)
+	}
+	if last.Time != 200 || last.Value != 0 {
+		t.Fatalf("last MPI event = %+v, want synthetic exit at 200", last)
+	}
+	// The synthetic enter carries the last pre-window counter snapshot.
+	if !first.HasCounters || first.Counters[0] != 100 {
+		t.Fatalf("synthetic enter counters = %+v", first)
+	}
+}
+
+func TestSliceWholeTraceIsIdentityModuloRebase(t *testing.T) {
+	tr := sliceSource(t)
+	sl := tr.Slice(0, tr.Meta.Duration)
+	if err := sl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sl.Samples) != len(tr.Samples) {
+		t.Fatalf("samples = %d, want %d", len(sl.Samples), len(tr.Samples))
+	}
+	// All real events present (the iteration event at 500 == Duration is
+	// outside the half-open window; MPI events all inside).
+	if len(sl.Events) != len(tr.Events)-1 {
+		t.Fatalf("events = %d, want %d", len(sl.Events), len(tr.Events)-1)
+	}
+}
+
+func TestSliceEmptyAndClamped(t *testing.T) {
+	tr := sliceSource(t)
+	sl := tr.Slice(700, 900) // beyond the end
+	if sl.Meta.Duration != 0 || len(sl.Events) != 0 || len(sl.Samples) != 0 {
+		t.Fatalf("out-of-range slice = %+v", sl)
+	}
+	sl2 := tr.Slice(-100, 50)
+	if err := sl2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if sl2.Meta.Duration != 50 {
+		t.Fatalf("clamped duration = %d", sl2.Meta.Duration)
+	}
+}
+
+func TestSliceCommsWindow(t *testing.T) {
+	b := NewBuilder("c", 2)
+	b.Comm(0, 1, 100, 150, 64, 1)
+	b.Comm(0, 1, 300, 350, 64, 2)
+	b.Event(0, 500, EvIteration, 1)
+	b.Event(1, 500, EvIteration, 1)
+	tr := b.Build()
+	sl := tr.Slice(200, 400)
+	if len(sl.Comms) != 1 || sl.Comms[0].Tag != 2 {
+		t.Fatalf("comms = %+v", sl.Comms)
+	}
+	if sl.Comms[0].SendTime != 100 || sl.Comms[0].RecvTime != 150 {
+		t.Fatalf("rebased comm = %+v", sl.Comms[0])
+	}
+}
+
+// TestSliceRandomWindowsAlwaysValid slices randomized traces at random
+// windows; the result must always validate.
+func TestSliceRandomWindowsAlwaysValid(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	for trial := 0; trial < 20; trial++ {
+		ranks := 1 + rng.IntN(4)
+		b := NewBuilder("rand", ranks)
+		now := make([]Time, ranks)
+		ctr := make([][5]int64, ranks)
+		inMPI := make([]bool, ranks)
+		for i := 0; i < 100; i++ {
+			r := int32(rng.IntN(ranks))
+			now[r] += Time(rng.IntN(500))
+			for c := range ctr[r] {
+				ctr[r][c] += rng.Int64N(50)
+			}
+			if inMPI[r] || rng.IntN(2) == 0 {
+				val := int64(MPIBarrier)
+				if inMPI[r] {
+					val = 0
+				}
+				b.EventC(r, now[r], EvMPI, val, ctr[r][:])
+				inMPI[r] = !inMPI[r]
+			} else {
+				b.Sample(r, now[r], ctr[r][:], nil)
+			}
+		}
+		for r := int32(0); r < int32(ranks); r++ {
+			if inMPI[r] {
+				now[r]++
+				b.EventC(r, now[r], EvMPI, 0, ctr[r][:])
+			}
+		}
+		tr := b.Build()
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trial %d: source invalid: %v", trial, err)
+		}
+		for w := 0; w < 10; w++ {
+			from := Time(rng.Int64N(int64(tr.Meta.Duration) + 1))
+			to := from + Time(rng.Int64N(int64(tr.Meta.Duration)+1))
+			sl := tr.Slice(from, to)
+			if err := sl.Validate(); err != nil {
+				t.Fatalf("trial %d window [%d,%d): %v", trial, from, to, err)
+			}
+		}
+	}
+}
+
+func TestSliceDoesNotAliasSource(t *testing.T) {
+	tr := sliceSource(t)
+	sl := tr.Slice(0, 250)
+	sl.Meta.Regions[9999] = "new"
+	sl.Meta.Params["x"] = "y"
+	if _, ok := tr.Meta.Regions[9999]; ok {
+		t.Fatal("regions aliased")
+	}
+	if _, ok := tr.Meta.Params["x"]; ok {
+		t.Fatal("params aliased")
+	}
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/counters"
+)
+
+// ErrInvalid is wrapped by all validation failures.
+var ErrInvalid = errors.New("trace: invalid trace")
+
+// Validate checks structural invariants of a trace:
+//
+//   - metadata rank count covers every record's rank
+//   - records are sorted by (Time, Rank)
+//   - no record is later than the recorded duration
+//   - per-rank counters in samples are monotone non-decreasing
+//   - per-rank MPI enter/exit events alternate and end balanced
+//   - comm records have RecvTime >= SendTime
+//
+// It returns the first violation found, or nil.
+func (tr *Trace) Validate() error {
+	ranks := tr.Meta.Ranks
+	if ranks < 1 {
+		return fmt.Errorf("%w: metadata rank count %d", ErrInvalid, ranks)
+	}
+
+	checkRank := func(kind string, i int, rank int32) error {
+		if rank < 0 || int(rank) >= ranks {
+			return fmt.Errorf("%w: %s %d has rank %d outside [0,%d)", ErrInvalid, kind, i, rank, ranks)
+		}
+		return nil
+	}
+
+	inMPI := make([]bool, ranks)
+	prevEvCtr := make([]counters.Values, ranks)
+	seenEvCtr := make([]bool, ranks)
+	var prevT Time
+	var prevR int32 = -1
+	for i, e := range tr.Events {
+		if err := checkRank("event", i, e.Rank); err != nil {
+			return err
+		}
+		if e.Time > tr.Meta.Duration {
+			return fmt.Errorf("%w: event %d at %d after duration %d", ErrInvalid, i, e.Time, tr.Meta.Duration)
+		}
+		if i > 0 && (e.Time < prevT || (e.Time == prevT && e.Rank < prevR)) {
+			return fmt.Errorf("%w: events not sorted at index %d", ErrInvalid, i)
+		}
+		prevT, prevR = e.Time, e.Rank
+		if e.HasCounters {
+			if seenEvCtr[e.Rank] {
+				for c := range e.Counters {
+					if e.Counters[c] < prevEvCtr[e.Rank][c] {
+						return fmt.Errorf("%w: rank %d counter %s decreased at event %d (%d -> %d)",
+							ErrInvalid, e.Rank, counters.Counter(c), i, prevEvCtr[e.Rank][c], e.Counters[c])
+					}
+				}
+			}
+			prevEvCtr[e.Rank] = e.Counters
+			seenEvCtr[e.Rank] = true
+		}
+		if e.Type == EvMPI {
+			entering := e.Value != 0
+			if entering == inMPI[e.Rank] {
+				if entering {
+					return fmt.Errorf("%w: rank %d enters MPI at %d while already inside", ErrInvalid, e.Rank, e.Time)
+				}
+				return fmt.Errorf("%w: rank %d exits MPI at %d while outside", ErrInvalid, e.Rank, e.Time)
+			}
+			inMPI[e.Rank] = entering
+		}
+	}
+	for r, in := range inMPI {
+		if in {
+			return fmt.Errorf("%w: rank %d trace ends inside an MPI call", ErrInvalid, r)
+		}
+	}
+
+	prevCtr := make([]counters.Values, ranks)
+	seen := make([]bool, ranks)
+	prevT, prevR = 0, -1
+	for i, s := range tr.Samples {
+		if err := checkRank("sample", i, s.Rank); err != nil {
+			return err
+		}
+		if s.Time > tr.Meta.Duration {
+			return fmt.Errorf("%w: sample %d at %d after duration %d", ErrInvalid, i, s.Time, tr.Meta.Duration)
+		}
+		if i > 0 && (s.Time < prevT || (s.Time == prevT && s.Rank < prevR)) {
+			return fmt.Errorf("%w: samples not sorted at index %d", ErrInvalid, i)
+		}
+		prevT, prevR = s.Time, s.Rank
+		if seen[s.Rank] {
+			for c := range s.Counters {
+				if s.Counters[c] < prevCtr[s.Rank][c] {
+					return fmt.Errorf("%w: rank %d counter %s decreased at sample %d (%d -> %d)",
+						ErrInvalid, s.Rank, counters.Counter(c), i, prevCtr[s.Rank][c], s.Counters[c])
+				}
+			}
+		}
+		prevCtr[s.Rank] = s.Counters
+		seen[s.Rank] = true
+	}
+
+	for i, c := range tr.Comms {
+		if err := checkRank("comm(src)", i, c.Src); err != nil {
+			return err
+		}
+		if err := checkRank("comm(dst)", i, c.Dst); err != nil {
+			return err
+		}
+		if c.RecvTime < c.SendTime {
+			return fmt.Errorf("%w: comm %d received at %d before sent at %d", ErrInvalid, i, c.RecvTime, c.SendTime)
+		}
+		if c.RecvTime > tr.Meta.Duration {
+			return fmt.Errorf("%w: comm %d recv at %d after duration %d", ErrInvalid, i, c.RecvTime, tr.Meta.Duration)
+		}
+		if c.Size < 0 {
+			return fmt.Errorf("%w: comm %d has negative size %d", ErrInvalid, i, c.Size)
+		}
+	}
+	return nil
+}
