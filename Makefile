@@ -1,0 +1,28 @@
+# Tiers:
+#   make test   — tier-1 (the gate every PR must keep green)
+#   make check  — tier-2: vet + race-enabled tests (catches data races in
+#                 the parallel analysis engine)
+#   make bench  — run the benchmark suite and record a trajectory
+#                 snapshot in BENCH_<date>.json via cmd/benchjson
+
+GO        ?= go
+DATE      := $(shell date +%Y-%m-%d)
+# Narrow or speed up a bench run: make bench BENCH=AnalyzePipeline BENCHTIME=1x
+BENCH     ?= .
+BENCHTIME ?= 1s
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+check:
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -timeout 60m . \
+		| $(GO) run ./cmd/benchjson -out BENCH_$(DATE).json

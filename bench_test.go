@@ -16,6 +16,7 @@ package repro
 import (
 	"bytes"
 	"math/rand/v2"
+	"runtime"
 	"testing"
 
 	"repro/internal/apps"
@@ -252,13 +253,87 @@ func BenchmarkPCHIP(b *testing.B) {
 }
 
 // BenchmarkAnalyzePipeline measures the full Analyze pipeline on a
-// moderate trace.
+// moderate trace with the engine pinned to one worker — the sequential
+// baseline the parallel variant is judged against.
 func BenchmarkAnalyzePipeline(b *testing.B) {
 	tr := benchTrace(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Analyze(tr, core.Options{}); err != nil {
+		if _, err := core.Analyze(tr, core.Options{Parallelism: 1}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkAnalyzePipelineParallel is the same pipeline saturating all
+// cores (the default Options). Compare against BenchmarkAnalyzePipeline
+// in BENCH_<date>.json to read the speedup; on a 1-core runner the two
+// should be within noise of each other (the fan-out costs nothing when
+// there is nothing to fan onto).
+func BenchmarkAnalyzePipelineParallel(b *testing.B) {
+	tr := benchTrace(b)
+	opts := core.Options{Parallelism: runtime.GOMAXPROCS(0)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Analyze(tr, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchClusteredPoints builds a labeled point set sized so the O(n²)
+// silhouette dominates.
+func benchClusteredPoints(n int) ([][]float64, []int) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	points := make([][]float64, n)
+	assign := make([]int, n)
+	for i := range points {
+		c := i % 5
+		points[i] = []float64{
+			float64(c)/5 + 0.01*rng.NormFloat64(),
+			float64(c)/5 + 0.01*rng.NormFloat64(),
+			0.5 + 0.01*rng.NormFloat64(),
+		}
+		assign[i] = c + 1
+	}
+	return points, assign
+}
+
+// BenchmarkSilhouette measures the sequential silhouette kernel on 4k
+// 3-D points (≈16M distance evaluations).
+func BenchmarkSilhouette(b *testing.B) {
+	points, assign := benchClusteredPoints(4000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.SilhouetteP(points, assign, 1)
+	}
+}
+
+// BenchmarkSilhouetteParallel is the same kernel row-partitioned across
+// all cores; the result is bitwise identical to the sequential run.
+func BenchmarkSilhouetteParallel(b *testing.B) {
+	points, assign := benchClusteredPoints(4000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.SilhouetteP(points, assign, runtime.GOMAXPROCS(0))
+	}
+}
+
+// BenchmarkAutoEps measures the sequential k-dist eps selection on 4k
+// points.
+func BenchmarkAutoEps(b *testing.B) {
+	points, _ := benchClusteredPoints(4000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.AutoEpsP(points, 4, 1)
+	}
+}
+
+// BenchmarkAutoEpsParallel is the chunk-parallel k-dist scan.
+func BenchmarkAutoEpsParallel(b *testing.B) {
+	points, _ := benchClusteredPoints(4000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cluster.AutoEpsP(points, 4, runtime.GOMAXPROCS(0))
 	}
 }

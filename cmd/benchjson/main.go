@@ -1,0 +1,139 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable benchmark-trajectory snapshot, so successive PRs can
+// diff performance (ns/op, B/op, allocs/op per benchmark) instead of
+// eyeballing terminal scrollback.
+//
+// It reads the benchmark text from stdin, echoes it to stderr (so a
+// piped run stays watchable), and writes a JSON file:
+//
+//	go test -run '^$' -bench . -benchmem | benchjson -out BENCH_2026-08-05.json
+//
+// The snapshot records the runner (goos/goarch/CPU count/go version)
+// because ns/op from a 1-core container and a 64-core server are not
+// comparable; trajectory tooling should group by runner fingerprint.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"time"
+)
+
+// Entry is one benchmark result line.
+type Entry struct {
+	// Name is the benchmark name without the -P GOMAXPROCS suffix.
+	Name string `json:"name"`
+	// Procs is the GOMAXPROCS the benchmark ran at (the -N suffix; 1 when
+	// absent).
+	Procs int `json:"procs"`
+	// Iterations is b.N for the recorded timing.
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// MBPerS, BytesPerOp and AllocsPerOp are present only when the run
+	// reported them (-benchmem, b.SetBytes).
+	MBPerS      *float64 `json:"mb_per_s,omitempty"`
+	BytesPerOp  *int64   `json:"bytes_per_op,omitempty"`
+	AllocsPerOp *int64   `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot is the full trajectory record for one benchmark run.
+type Snapshot struct {
+	Date       string  `json:"date"`
+	GoVersion  string  `json:"go_version"`
+	GOOS       string  `json:"goos"`
+	GOARCH     string  `json:"goarch"`
+	NumCPU     int     `json:"num_cpu"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// benchLine matches e.g.
+//
+//	BenchmarkFold-8   100   12345678 ns/op   54.21 MB/s   2345 B/op   67 allocs/op
+var benchLine = regexp.MustCompile(
+	`^(Benchmark\S+?)(?:-(\d+))?\s+(\d+)\s+([\d.]+) ns/op(?:\s+([\d.]+) MB/s)?(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// parseLine extracts a benchmark Entry from one line of `go test -bench`
+// output; ok is false for non-benchmark lines (headers, PASS, pkg path).
+func parseLine(line string) (Entry, bool) {
+	m := benchLine.FindStringSubmatch(line)
+	if m == nil {
+		return Entry{}, false
+	}
+	e := Entry{Name: m[1], Procs: 1}
+	if m[2] != "" {
+		e.Procs, _ = strconv.Atoi(m[2])
+	}
+	e.Iterations, _ = strconv.ParseInt(m[3], 10, 64)
+	e.NsPerOp, _ = strconv.ParseFloat(m[4], 64)
+	if m[5] != "" {
+		v, _ := strconv.ParseFloat(m[5], 64)
+		e.MBPerS = &v
+	}
+	if m[6] != "" {
+		v, _ := strconv.ParseInt(m[6], 10, 64)
+		e.BytesPerOp = &v
+	}
+	if m[7] != "" {
+		v, _ := strconv.ParseInt(m[7], 10, 64)
+		e.AllocsPerOp = &v
+	}
+	return e, true
+}
+
+func main() {
+	out := flag.String("out", "",
+		"output JSON path (default BENCH_<today>.json)")
+	flag.Parse()
+	if *out == "" {
+		*out = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
+	}
+
+	snap := Snapshot{
+		Date:      time.Now().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(os.Stderr, line)
+		if e, ok := parseLine(line); ok {
+			snap.Benchmarks = append(snap.Benchmarks, e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(snap.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin (pipe `go test -bench` output in)"))
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&snap); err != nil {
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+package main
+
+import "testing"
+
+func TestParseLineFull(t *testing.T) {
+	e, ok := parseLine("BenchmarkFold-8   \t     100\t  12345678 ns/op\t  54.21 MB/s\t  2345 B/op\t   67 allocs/op")
+	if !ok {
+		t.Fatal("full line not parsed")
+	}
+	if e.Name != "BenchmarkFold" || e.Procs != 8 || e.Iterations != 100 || e.NsPerOp != 12345678 {
+		t.Fatalf("parsed %+v", e)
+	}
+	if e.MBPerS == nil || *e.MBPerS != 54.21 {
+		t.Fatalf("MB/s = %v", e.MBPerS)
+	}
+	if e.BytesPerOp == nil || *e.BytesPerOp != 2345 {
+		t.Fatalf("B/op = %v", e.BytesPerOp)
+	}
+	if e.AllocsPerOp == nil || *e.AllocsPerOp != 67 {
+		t.Fatalf("allocs/op = %v", e.AllocsPerOp)
+	}
+}
+
+func TestParseLineMinimal(t *testing.T) {
+	// No -P suffix (GOMAXPROCS=1 runs omit it), no -benchmem columns,
+	// fractional ns/op.
+	e, ok := parseLine("BenchmarkSilhouette \t    5\t 240531872.4 ns/op")
+	if !ok {
+		t.Fatal("minimal line not parsed")
+	}
+	if e.Name != "BenchmarkSilhouette" || e.Procs != 1 || e.Iterations != 5 {
+		t.Fatalf("parsed %+v", e)
+	}
+	if e.NsPerOp != 240531872.4 {
+		t.Fatalf("ns/op = %g", e.NsPerOp)
+	}
+	if e.MBPerS != nil || e.BytesPerOp != nil || e.AllocsPerOp != nil {
+		t.Fatalf("optional columns invented: %+v", e)
+	}
+}
+
+func TestParseLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"pkg: repro",
+		"PASS",
+		"ok  \trepro\t12.3s",
+		"",
+		"--- BENCH: BenchmarkFold-8",
+	} {
+		if _, ok := parseLine(line); ok {
+			t.Fatalf("noise line parsed as benchmark: %q", line)
+		}
+	}
+}
+
+func TestParseLineSubBenchmark(t *testing.T) {
+	e, ok := parseLine("BenchmarkAnalyzePipeline/ranks=16-4         \t      10\t 103456789 ns/op")
+	if !ok {
+		t.Fatal("sub-benchmark not parsed")
+	}
+	if e.Name != "BenchmarkAnalyzePipeline/ranks=16" || e.Procs != 4 {
+		t.Fatalf("parsed %+v", e)
+	}
+}

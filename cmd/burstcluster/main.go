@@ -26,6 +26,7 @@ func main() {
 		minPts = flag.Int("minpts", 4, "DBSCAN minPts")
 		noIPC  = flag.Bool("no-ipc", false, "cluster in 2-D (duration × instructions) instead of 3-D")
 		scout  = flag.String("scatter", "", "write burst scatter TSV (duration_us, ipc, cluster)")
+		par    = flag.Int("parallel", 0, "clustering worker count (0 = all cores, 1 = sequential); output is identical either way")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -40,7 +41,7 @@ func main() {
 		fatal(err)
 	}
 	kept, dropped := burst.Filter{MinDuration: trace.Time(*minDur * 1e3)}.Apply(all)
-	res := cluster.ClusterBursts(kept, cluster.Config{Eps: *eps, MinPts: *minPts, UseIPC: !*noIPC})
+	res := cluster.ClusterBursts(kept, cluster.Config{Eps: *eps, MinPts: *minPts, UseIPC: !*noIPC, Parallelism: *par})
 
 	fmt.Printf("%s: %d bursts (%d filtered, %.1f%% time kept), K=%d, eps=%.4f, silhouette=%.3f\n",
 		tr.Meta.App, len(all), len(dropped), 100*burst.Coverage(kept, all),

@@ -32,6 +32,7 @@ func main() {
 		phases     = flag.Int("phases", 5, "maximum phases to analyze")
 		curves     = flag.String("curves", "", "directory to write per-phase folded-curve TSVs")
 		iterations = flag.Bool("iterations", false, "fold whole iterations (EvIteration markers) instead of clustered bursts")
+		par        = flag.Int("parallel", 0, "analysis worker count (0 = all cores, 1 = sequential); output is identical either way")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -47,7 +48,7 @@ func main() {
 		return
 	}
 
-	opts := core.Options{MaxPhases: *phases}
+	opts := core.Options{MaxPhases: *phases, Parallelism: *par}
 	opts.Fold.Bins = *bins
 	switch *model {
 	case "binned+pchip":

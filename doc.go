@@ -15,13 +15,16 @@
 //	internal/sim        deterministic message-passing simulator
 //	internal/burst      computation-burst extraction
 //	internal/cluster    DBSCAN burst clustering (+ k-means baseline)
+//	internal/parallel   bounded fan-out, chunked reduce, buffer pool
 //	internal/fit        PAVA, monotone cubic Hermite, kernel smoothing
 //	internal/folding    the paper's core contribution
 //	internal/profile    flat profiles (compute/MPI split, load balance)
 //	internal/structure  loop detection, SPMD score, iteration stats
 //	internal/spectral   marker-free period detection
 //	internal/online     streaming classifier + incremental folder
-//	internal/core       the analysis pipeline (Analyze)
+//	internal/core       the analysis pipeline (Analyze, parallel by
+//	                    default with a byte-identical-output guarantee;
+//	                    Options.Parallelism bounds the workers)
 //	internal/apps       the evaluation applications (+ wavefront)
 //	internal/experiments every table/figure of the evaluation
 //	cmd/...             tracegen, trstats, trslice, burstcluster, fold, report

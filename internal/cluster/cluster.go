@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/burst"
+	"repro/internal/parallel"
 )
 
 // Config parameterizes burst clustering.
@@ -24,6 +25,11 @@ type Config struct {
 	// noise produces tiny outlying shards that DBSCAN dutifully groups;
 	// they are measurement debris, not application phases.
 	MinClusterShare float64
+	// Parallelism bounds the workers used by the quadratic kernels
+	// (AutoEps, Silhouette) and DBSCAN's neighbor precomputation; 0
+	// selects GOMAXPROCS, 1 forces sequential execution. The clustering
+	// result is identical for every value.
+	Parallelism int
 }
 
 // Result is the outcome of clustering a burst set.
@@ -110,6 +116,15 @@ func Normalize(m [][]float64) {
 // lognormal duration noise produces — the knee rule lands in the dense
 // bulk and fragments each phase into shards.
 func AutoEps(points [][]float64, k int) float64 {
+	return AutoEpsP(points, k, 0)
+}
+
+// AutoEpsP is AutoEps with an explicit worker bound: the O(n²) k-dist
+// scan is row-partitioned onto at most parallelism workers (0 =
+// GOMAXPROCS). Every row's k-dist is computed independently and written
+// to its own slot, so the returned eps is identical for every worker
+// count.
+func AutoEpsP(points [][]float64, k, parallelism int) float64 {
 	n := len(points)
 	if n == 0 {
 		return 0.1
@@ -121,17 +136,20 @@ func AutoEps(points [][]float64, k int) float64 {
 		return 0.1
 	}
 	kd := make([]float64, n)
-	dists := make([]float64, 0, n)
-	for i := range points {
-		dists = dists[:0]
-		for j := range points {
-			if i != j {
-				dists = append(dists, math.Sqrt(dist2(points[i], points[j])))
+	parallel.ForEachChunk(n, parallelism, func(lo, hi int) {
+		buf := parallel.GetFloat64(n - 1)
+		defer parallel.PutFloat64(buf)
+		for i := lo; i < hi; i++ {
+			dists := buf[:0]
+			for j := range points {
+				if i != j {
+					dists = append(dists, math.Sqrt(dist2(points[i], points[j])))
+				}
 			}
+			sort.Float64s(dists)
+			kd[i] = dists[k-1]
 		}
-		sort.Float64s(dists)
-		kd[i] = dists[k-1]
-	}
+	})
 	sort.Float64s(kd)
 	eps := kd[n*99/100]
 	if eps <= 0 {
@@ -153,9 +171,9 @@ func ClusterBursts(bursts []burst.Burst, cfg Config) Result {
 	}
 	res.Features = Features(bursts, cfg.UseIPC)
 	if res.Eps == 0 {
-		res.Eps = AutoEps(res.Features, res.MinPts)
+		res.Eps = AutoEpsP(res.Features, res.MinPts, cfg.Parallelism)
 	}
-	raw := DBSCAN(res.Features, res.Eps, res.MinPts)
+	raw := DBSCANP(res.Features, res.Eps, res.MinPts, cfg.Parallelism)
 
 	// Demote sub-scale shards to noise.
 	share := cfg.MinClusterShare
@@ -204,27 +222,41 @@ func ClusterBursts(bursts []burst.Burst, cfg Config) Result {
 		bursts[i].Cluster = remap[c]
 	}
 	res.K = len(ids)
-	res.Silhouette = Silhouette(res.Features, res.Assign)
+	res.Silhouette = SilhouetteP(res.Features, res.Assign, cfg.Parallelism)
 	return res
 }
 
 // Silhouette computes the mean silhouette coefficient over all clustered
 // (non-noise) points. It returns NaN when fewer than two clusters exist.
 func Silhouette(points [][]float64, assign []int) float64 {
-	// Group point indices by cluster.
+	return SilhouetteP(points, assign, 0)
+}
+
+// SilhouetteP is Silhouette with an explicit worker bound (0 =
+// GOMAXPROCS). Each clustered point's coefficient is an independent O(n)
+// scan, so the point set is chunk-partitioned across workers; the
+// per-point coefficients land in an indexed slice and are summed in point
+// order, making the result identical for every worker count.
+func SilhouetteP(points [][]float64, assign []int, parallelism int) float64 {
+	// Group point indices by cluster and list clustered points in index
+	// order.
 	groups := map[int][]int{}
+	var clustered []int
 	for i, c := range assign {
 		if c != Noise {
 			groups[c] = append(groups[c], i)
+			clustered = append(clustered, i)
 		}
 	}
 	if len(groups) < 2 {
 		return math.NaN()
 	}
-	var sum float64
-	var count int
-	for c, members := range groups {
-		for _, i := range members {
+	coeff := make([]float64, len(clustered))
+	parallel.ForEachChunk(len(clustered), parallelism, func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			i := clustered[ci]
+			c := assign[i]
+			members := groups[c]
 			// a = mean distance to own cluster.
 			var a float64
 			if len(members) > 1 {
@@ -250,17 +282,16 @@ func Silhouette(points [][]float64, assign []int) float64 {
 					b = m
 				}
 			}
-			den := math.Max(a, b)
-			if den > 0 {
-				sum += (b - a) / den
+			if den := math.Max(a, b); den > 0 {
+				coeff[ci] = (b - a) / den
 			}
-			count++
 		}
+	})
+	var sum float64
+	for _, s := range coeff {
+		sum += s
 	}
-	if count == 0 {
-		return math.NaN()
-	}
-	return sum / float64(count)
+	return sum / float64(len(clustered))
 }
 
 // ClusterTimeCoverage returns the fraction of total burst time assigned to
@@ -270,16 +301,22 @@ func ClusterTimeCoverage(bursts []burst.Burst, assign []int) float64 {
 	if len(bursts) != len(assign) {
 		panic(fmt.Sprintf("cluster: %d bursts vs %d assignments", len(bursts), len(assign)))
 	}
-	var tot, cov int64
-	for i := range bursts {
-		d := int64(bursts[i].Duration())
-		tot += d
-		if assign[i] != Noise {
-			cov += d
-		}
-	}
-	if tot == 0 {
+	type sums struct{ tot, cov int64 }
+	// Integer sums are order-independent, so the chunked reduction is
+	// deterministic for any worker count.
+	s := parallel.Reduce(len(bursts), 0,
+		func() sums { return sums{} },
+		func(a sums, i int) sums {
+			d := int64(bursts[i].Duration())
+			a.tot += d
+			if assign[i] != Noise {
+				a.cov += d
+			}
+			return a
+		},
+		func(a, b sums) sums { return sums{a.tot + b.tot, a.cov + b.cov} })
+	if s.tot == 0 {
 		return 0
 	}
-	return float64(cov) / float64(tot)
+	return float64(s.cov) / float64(s.tot)
 }

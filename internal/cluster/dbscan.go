@@ -10,6 +10,8 @@ package cluster
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/parallel"
 )
 
 // Noise is the assignment id DBSCAN gives to points in no cluster.
@@ -24,6 +26,18 @@ const Noise = 0
 // queries inspect only 3^d adjacent cells; with the 2-3 dimensional,
 // min-max-normalized spaces used for bursts this makes DBSCAN near-linear.
 func DBSCAN(points [][]float64, eps float64, minPts int) []int {
+	return DBSCANP(points, eps, minPts, 0)
+}
+
+// DBSCANP is DBSCAN with an explicit worker bound (0 = GOMAXPROCS). The
+// per-point neighbor lists — the dominant cost — are precomputed
+// concurrently against the read-only grid index; the cluster-expansion
+// pass that consumes them is inherently sequential (its queue order
+// defines the cluster ids) and walks the precomputed lists, so the
+// assignment is identical to the sequential algorithm's for every worker
+// count. The precomputation holds all n neighbor lists at once, the same
+// O(total neighbor count) the expansion pass would touch anyway.
+func DBSCANP(points [][]float64, eps float64, minPts, parallelism int) []int {
 	n := len(points)
 	if n == 0 {
 		return nil
@@ -42,6 +56,13 @@ func DBSCAN(points [][]float64, eps float64, minPts int) []int {
 	}
 
 	idx := newGridIndex(points, eps)
+	neighbors := make([][]int, n)
+	parallel.ForEachChunk(n, parallelism, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			neighbors[i] = idx.neighbors(i)
+		}
+	})
+
 	assign := make([]int, n) // 0 = unvisited/noise
 	visited := make([]bool, n)
 	nextCluster := 0
@@ -52,20 +73,18 @@ func DBSCAN(points [][]float64, eps float64, minPts int) []int {
 			continue
 		}
 		visited[i] = true
-		neighbors := idx.neighbors(i)
-		if len(neighbors) < minPts {
+		if len(neighbors[i]) < minPts {
 			continue // noise (may be claimed by a cluster later)
 		}
 		nextCluster++
 		assign[i] = nextCluster
-		queue = append(queue[:0], neighbors...)
+		queue = append(queue[:0], neighbors[i]...)
 		for qi := 0; qi < len(queue); qi++ {
 			j := queue[qi]
 			if !visited[j] {
 				visited[j] = true
-				jn := idx.neighbors(j)
-				if len(jn) >= minPts {
-					queue = append(queue, jn...)
+				if len(neighbors[j]) >= minPts {
+					queue = append(queue, neighbors[j]...)
 				}
 			}
 			if assign[j] == Noise {

@@ -10,12 +10,14 @@ package core
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 
 	"repro/internal/burst"
 	"repro/internal/cluster"
 	"repro/internal/counters"
 	"repro/internal/folding"
+	"repro/internal/parallel"
 	"repro/internal/profile"
 	"repro/internal/structure"
 	"repro/internal/trace"
@@ -40,6 +42,12 @@ type Options struct {
 	// MaxPhases bounds how many clusters (by total time) are analyzed in
 	// depth (default 5).
 	MaxPhases int
+	// Parallelism bounds the worker count for per-phase analysis and
+	// per-counter folding, and is forwarded to clustering when
+	// Cluster.Parallelism is unset. 0 selects runtime.GOMAXPROCS(0);
+	// 1 forces a fully sequential pipeline. The Report is deep-equal for
+	// every value (see TestAnalyzeParallelDeterminism).
+	Parallelism int
 }
 
 func (o *Options) setDefaults() {
@@ -56,6 +64,12 @@ func (o *Options) setDefaults() {
 	}
 	if o.MaxPhases == 0 {
 		o.MaxPhases = 5
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if o.Cluster.Parallelism == 0 {
+		o.Cluster.Parallelism = o.Parallelism
 	}
 	// The pipeline always clusters in the full 3-D space (log duration,
 	// log instructions, IPC); experiments wanting 2-D call the cluster
@@ -119,8 +133,10 @@ type Report struct {
 	// ClusterTimeCoverage is the fraction of kept burst time inside
 	// non-noise clusters.
 	ClusterTimeCoverage float64
-	// Profile is the flat MPI/compute profile of the trace.
-	Profile *profile.Profile
+	// Profile is the flat MPI/compute profile of the trace; ProfileErr
+	// records why it is nil when profiling failed (empty otherwise).
+	Profile    *profile.Profile
+	ProfileErr string
 	// Iterations summarizes the main-loop iteration markers.
 	Iterations structure.IterationStats
 	// Loops is the detected per-rank repetition structure of the phase
@@ -154,6 +170,8 @@ func Analyze(tr *trace.Trace, opts Options) (*Report, error) {
 	}
 	if p, err := profile.Compute(tr); err == nil {
 		rep.Profile = p
+	} else {
+		rep.ProfileErr = err.Error()
 	}
 	rep.Iterations = structure.Iterations(tr)
 	if len(kept) == 0 {
@@ -171,10 +189,16 @@ func Analyze(tr *trace.Trace, opts Options) (*Report, error) {
 	if nPhases > opts.MaxPhases {
 		nPhases = opts.MaxPhases
 	}
-	for cid := 1; cid <= nPhases; cid++ {
-		instances := folding.InstancesFromBursts(kept, attached, cid)
-		ph := analyzePhase(tr, kept, instances, cid, opts)
-		rep.Phases = append(rep.Phases, ph)
+	if nPhases > 0 {
+		// Each phase is analyzed independently against the read-only burst
+		// and sample sets and written to its own pre-sized slot, so the
+		// fan-out preserves ordering and determinism exactly.
+		rep.Phases = make([]Phase, nPhases)
+		parallel.ForEach(nPhases, opts.Parallelism, func(idx int) {
+			cid := idx + 1
+			instances := folding.InstancesFromBursts(kept, attached, cid)
+			rep.Phases[idx] = analyzePhase(tr, kept, instances, cid, opts)
+		})
 	}
 	return rep, nil
 }
@@ -191,7 +215,8 @@ func analyzePhase(tr *trace.Trace, kept []burst.Burst, instances []folding.Insta
 	// Aggregate statistics and oracle purity from the member bursts.
 	oracleCount := map[int64]int{}
 	var ipcSum float64
-	rankSum := make([]float64, tr.Meta.Ranks)
+	rankSum := parallel.GetFloat64(tr.Meta.Ranks)
+	defer parallel.PutFloat64(rankSum)
 	rankN := make([]int, tr.Meta.Ranks)
 	for i := range kept {
 		if kept[i].Cluster != cid {
@@ -238,16 +263,23 @@ func analyzePhase(tr *trace.Trace, kept []burst.Burst, instances []folding.Insta
 		ph.OraclePurity = float64(oracleCount[ph.MajorityOracle]) / float64(totalOracle)
 	}
 
-	// Fold every requested counter.
-	for _, c := range opts.Counters {
+	// Fold every requested counter. Each fold reads the shared instances
+	// and produces an independent Result, so the counters fan out onto
+	// workers; results land in indexed slots and the maps are filled in
+	// counter order afterwards.
+	folds := make([]*folding.Result, len(opts.Counters))
+	foldErrs := make([]error, len(opts.Counters))
+	parallel.ForEach(len(opts.Counters), opts.Parallelism, func(i int) {
 		cfg := opts.Fold
-		cfg.Counter = c
-		res, err := folding.Fold(instances, cfg)
-		if err != nil {
-			ph.FoldErrors[c] = err
+		cfg.Counter = opts.Counters[i]
+		folds[i], foldErrs[i] = folding.Fold(instances, cfg)
+	})
+	for i, c := range opts.Counters {
+		if foldErrs[i] != nil {
+			ph.FoldErrors[c] = foldErrs[i]
 			continue
 		}
-		ph.Folds[c] = res
+		ph.Folds[c] = folds[i]
 	}
 
 	// Fold call stacks.

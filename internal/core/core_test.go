@@ -159,7 +159,10 @@ func TestAnalyzeCGReportsCacheWarmup(t *testing.T) {
 func TestAnalyzeIncludesProfileAndStructure(t *testing.T) {
 	rep := analyzeApp(t, "stencil", 60)
 	if rep.Profile == nil {
-		t.Fatal("profile missing")
+		t.Fatalf("profile missing (ProfileErr: %q)", rep.ProfileErr)
+	}
+	if rep.ProfileErr != "" {
+		t.Fatalf("ProfileErr = %q alongside a successful profile", rep.ProfileErr)
 	}
 	if f := rep.Profile.MPIFraction(); f <= 0 || f >= 0.5 {
 		t.Fatalf("MPI fraction = %g", f)

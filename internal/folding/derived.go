@@ -15,6 +15,15 @@ func RatioCurve(num, den *Result, scale float64) ([]float64, error) {
 	if len(num.Grid) != len(den.Grid) {
 		return nil, fmt.Errorf("folding: ratio of incompatible grids (%d vs %d)", len(num.Grid), len(den.Grid))
 	}
+	// A well-formed Result carries one Rate value per grid point; a
+	// malformed one (hand-built, or truncated by a serialization bug) must
+	// error here rather than panic on the indexing below.
+	if len(num.Rate) != len(num.Grid) {
+		return nil, fmt.Errorf("folding: malformed numerator: %d rate values for %d grid points", len(num.Rate), len(num.Grid))
+	}
+	if len(den.Rate) != len(den.Grid) {
+		return nil, fmt.Errorf("folding: malformed denominator: %d rate values for %d grid points", len(den.Rate), len(den.Grid))
+	}
 	if scale == 0 {
 		scale = 1
 	}

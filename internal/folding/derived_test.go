@@ -91,6 +91,26 @@ func TestRatioCurveGridMismatch(t *testing.T) {
 	}
 }
 
+func TestRatioCurveMalformedRateErrors(t *testing.T) {
+	// Matching grids but truncated (or absent) Rate slices must error, not
+	// panic on the out-of-range index.
+	ok := &Result{Grid: make([]float64, 10), Rate: make([]float64, 10), MeanTotal: 1, MeanDuration: 1}
+	short := &Result{Grid: make([]float64, 10), Rate: make([]float64, 3), MeanTotal: 1, MeanDuration: 1}
+	empty := &Result{Grid: make([]float64, 10), MeanTotal: 1, MeanDuration: 1}
+	for name, pair := range map[string][2]*Result{
+		"short numerator":   {short, ok},
+		"short denominator": {ok, short},
+		"nil rates":         {empty, empty},
+	} {
+		if _, err := RatioCurve(pair[0], pair[1], 1); err == nil {
+			t.Fatalf("%s accepted", name)
+		}
+	}
+	if _, err := RatioCurve(ok, ok, 1); err != nil {
+		t.Fatalf("well-formed results rejected: %v", err)
+	}
+}
+
 func TestComputeBands(t *testing.T) {
 	instances := genInstances(counters.Linear(0.5, 1.5), 500, 3, 0.05, 13)
 	res, err := Fold(instances, Config{Counter: counters.TotIns})

@@ -28,6 +28,7 @@ import (
 	"repro/internal/burst"
 	"repro/internal/counters"
 	"repro/internal/fit"
+	"repro/internal/parallel"
 	"repro/internal/stats"
 	"repro/internal/trace"
 )
@@ -411,8 +412,10 @@ func PruneInstances(instances []Instance, k float64, c counters.Counter) (kept [
 	if k < 0 || len(instances) < 4 {
 		return instances, 0
 	}
-	durs := make([]float64, len(instances))
-	tots := make([]float64, len(instances))
+	durs := parallel.GetFloat64(len(instances))
+	defer parallel.PutFloat64(durs)
+	tots := parallel.GetFloat64(len(instances))
+	defer parallel.PutFloat64(tots)
 	for i := range instances {
 		durs[i] = float64(instances[i].Duration())
 		tots[i] = float64(instances[i].Totals[c])

@@ -1,0 +1,166 @@
+// Package parallel is the small concurrency toolkit the analysis engine
+// is built on: bounded index-space fan-out, chunked reduction, and a
+// reusable float64 scratch-buffer pool.
+//
+// Everything here is designed so that callers can keep their output
+// independent of the worker count: ForEach and ForEachChunk hand each
+// index (or contiguous index range) to exactly one worker, so writing
+// results into slot i of a pre-sized slice and reducing sequentially in
+// index order yields byte-identical output whether the loop ran on 1 or
+// 64 workers. That property is what lets core.Analyze guarantee that
+// parallel and sequential runs produce deep-equal Reports.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested parallelism against a loop of n iterations:
+// p <= 0 selects runtime.GOMAXPROCS(0), and the result is clamped to
+// [1, n] (never more workers than iterations, never fewer than one).
+func Workers(p, n int) int {
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if n > 0 && p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// ForEach runs fn(i) for every i in [0, n) on at most p workers (p <= 0
+// selects GOMAXPROCS). Indices are handed out dynamically, so uneven
+// per-index costs balance across workers; iteration order is unspecified.
+// fn must be safe for concurrent invocation on distinct indices. With
+// p == 1 (or n <= 1) the loop runs inline on the calling goroutine, so
+// sequential callers pay no synchronization cost.
+func ForEach(n, p int, fn func(i int)) {
+	p = Workers(p, n)
+	if p == 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ForEachChunk splits [0, n) into at most p contiguous chunks and runs
+// fn(lo, hi) for each — row-partitioned O(n²) loops (distance matrices,
+// k-dist scans) amortize per-index dispatch this way while keeping each
+// row's inner arithmetic in one goroutine. With p == 1 the single chunk
+// runs inline.
+func ForEachChunk(n, p int, fn func(lo, hi int)) {
+	p = Workers(p, n)
+	if p == 1 || n <= 1 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for c := 0; c < p; c++ {
+		lo, hi := c*n/p, (c+1)*n/p
+		go func() {
+			defer wg.Done()
+			if lo < hi {
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Reduce folds every index in [0, n) into per-chunk accumulators (init
+// creates one, body consumes one index) and merges the chunk accumulators
+// in ascending chunk order. For a fixed (n, p) the merge order is
+// deterministic; for output that is identical across different p the
+// merge must be order-independent (integer sums, min/max, set union) —
+// floating-point sums are not, so reduce those via an indexed slice and a
+// sequential pass instead.
+func Reduce[A any](n, p int, init func() A, body func(acc A, i int) A, merge func(a, b A) A) A {
+	p = Workers(p, n)
+	if p == 1 || n <= 1 {
+		acc := init()
+		for i := 0; i < n; i++ {
+			acc = body(acc, i)
+		}
+		return acc
+	}
+	accs := make([]A, p)
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for c := 0; c < p; c++ {
+		c, lo, hi := c, c*n/p, (c+1)*n/p
+		go func() {
+			defer wg.Done()
+			acc := init()
+			for i := lo; i < hi; i++ {
+				acc = body(acc, i)
+			}
+			accs[c] = acc
+		}()
+	}
+	wg.Wait()
+	out := accs[0]
+	for _, a := range accs[1:] {
+		out = merge(out, a)
+	}
+	return out
+}
+
+// f64Pool recycles scratch slices so hot loops (k-dist buffers, pruning
+// scratch, per-rank aggregation) stop re-allocating on every call.
+var f64Pool = sync.Pool{
+	New: func() any {
+		s := make([]float64, 0, 256)
+		return &s
+	},
+}
+
+// GetFloat64 returns a zeroed scratch slice of length n from the pool.
+// Return it with PutFloat64 when done; the slice must not be retained or
+// put back twice. Safe for concurrent use.
+func GetFloat64(n int) []float64 {
+	sp := f64Pool.Get().(*[]float64)
+	s := *sp
+	if cap(s) < n {
+		s = make([]float64, n)
+	} else {
+		s = s[:n]
+		for i := range s {
+			s[i] = 0
+		}
+	}
+	return s
+}
+
+// PutFloat64 returns a slice obtained from GetFloat64 to the pool.
+func PutFloat64(s []float64) {
+	if cap(s) == 0 {
+		return
+	}
+	s = s[:0]
+	f64Pool.Put(&s)
+}

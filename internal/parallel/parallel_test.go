@@ -1,0 +1,162 @@
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0, 100); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0, 100) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3, 100); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3, 100) = %d", got)
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Fatalf("Workers(8, 3) = %d, want 3 (clamped to n)", got)
+	}
+	if got := Workers(8, 0); got != 8 {
+		t.Fatalf("Workers(8, 0) = %d, want 8", got)
+	}
+	if got := Workers(1, 100); got != 1 {
+		t.Fatalf("Workers(1, 100) = %d, want 1", got)
+	}
+}
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, p := range []int{0, 1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 2, 5, 100, 1000} {
+			hits := make([]int32, n)
+			ForEach(n, p, func(i int) {
+				atomic.AddInt32(&hits[i], 1)
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("p=%d n=%d: index %d visited %d times", p, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForEachBoundsWorkers(t *testing.T) {
+	const p = 3
+	var cur, peak atomic.Int32
+	var mu sync.Mutex
+	ForEach(64, p, func(i int) {
+		c := cur.Add(1)
+		mu.Lock()
+		if c > peak.Load() {
+			peak.Store(c)
+		}
+		mu.Unlock()
+		cur.Add(-1)
+	})
+	if peak.Load() > p {
+		t.Fatalf("observed %d concurrent workers, bound is %d", peak.Load(), p)
+	}
+}
+
+func TestForEachChunkPartitions(t *testing.T) {
+	for _, p := range []int{0, 1, 2, 3, 7, 16} {
+		for _, n := range []int{0, 1, 2, 5, 17, 100} {
+			hits := make([]int32, n)
+			ForEachChunk(n, p, func(lo, hi int) {
+				if lo >= hi {
+					t.Errorf("p=%d n=%d: empty chunk [%d,%d)", p, n, lo, hi)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("p=%d n=%d: index %d covered %d times", p, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestReduceIntSumInvariantAcrossP(t *testing.T) {
+	const n = 1000
+	want := n * (n - 1) / 2
+	for _, p := range []int{0, 1, 2, 5, 16} {
+		got := Reduce(n, p,
+			func() int { return 0 },
+			func(acc, i int) int { return acc + i },
+			func(a, b int) int { return a + b })
+		if got != want {
+			t.Fatalf("p=%d: Reduce = %d, want %d", p, got, want)
+		}
+	}
+}
+
+func TestReduceEmptyAndSingle(t *testing.T) {
+	if got := Reduce(0, 4, func() int { return 7 }, func(a, i int) int { return a + i }, func(a, b int) int { return a + b }); got != 7 {
+		t.Fatalf("empty Reduce = %d, want init value 7", got)
+	}
+	if got := Reduce(1, 4, func() int { return 0 }, func(a, i int) int { return a + i + 1 }, func(a, b int) int { return a + b }); got != 1 {
+		t.Fatalf("single Reduce = %d", got)
+	}
+}
+
+func TestReduceUnevenChunksKeepEveryAccumulator(t *testing.T) {
+	// n not divisible by p: uneven chunk bounds must still merge every
+	// chunk exactly once (regression for chunk-id aliasing).
+	for _, n := range []int{5, 17, 101} {
+		for _, p := range []int{2, 3, 4, 7} {
+			got := Reduce(n, p,
+				func() int { return 0 },
+				func(acc, i int) int { return acc + 1 },
+				func(a, b int) int { return a + b })
+			if got != n {
+				t.Fatalf("n=%d p=%d: counted %d", n, p, got)
+			}
+		}
+	}
+}
+
+func TestFloat64PoolZeroedAndReusable(t *testing.T) {
+	s := GetFloat64(100)
+	if len(s) != 100 {
+		t.Fatalf("len = %d", len(s))
+	}
+	for i := range s {
+		s[i] = float64(i) + 1
+	}
+	PutFloat64(s)
+	// The recycled slice must come back zeroed at any length.
+	r := GetFloat64(50)
+	for i, v := range r {
+		if v != 0 {
+			t.Fatalf("recycled slice not zeroed at %d: %g", i, v)
+		}
+	}
+	PutFloat64(r)
+	// Zero-length requests and puts must not panic.
+	z := GetFloat64(0)
+	if len(z) != 0 {
+		t.Fatalf("len = %d", len(z))
+	}
+	PutFloat64(z)
+	PutFloat64(nil)
+}
+
+func TestFloat64PoolConcurrent(t *testing.T) {
+	// Hammer the pool from many goroutines; the race detector guards the
+	// rest.
+	ForEach(256, 8, func(i int) {
+		s := GetFloat64(i % 97)
+		for j := range s {
+			if s[j] != 0 {
+				t.Errorf("dirty slice")
+				return
+			}
+			s[j] = 1
+		}
+		PutFloat64(s)
+	})
+}
