@@ -1,17 +1,21 @@
 # Tiers:
-#   make test   — tier-1 (the gate every PR must keep green)
-#   make check  — tier-2: vet + race-enabled tests (catches data races in
-#                 the parallel analysis engine)
-#   make bench  — run the benchmark suite and record a trajectory
-#                 snapshot in BENCH_<date>.json via cmd/benchjson
+#   make test     — tier-1 (the gate every PR must keep green)
+#   make check    — tier-2: vet + race-enabled tests (catches data races in
+#                   the parallel analysis engine) + a short fuzz run over
+#                   the trace decoder
+#   make bench    — run the benchmark suite and record a trajectory
+#                   snapshot in BENCH_<date>.json via cmd/benchjson
+#   make benchmem — memory tier: just the streaming-vs-batch allocation
+#                   comparison, recorded in BENCH_MEM_<date>.json
 
 GO        ?= go
 DATE      := $(shell date +%Y-%m-%d)
 # Narrow or speed up a bench run: make bench BENCH=AnalyzePipeline BENCHTIME=1x
 BENCH     ?= .
 BENCHTIME ?= 1s
+FUZZTIME  ?= 10s
 
-.PHONY: build test check bench
+.PHONY: build test check bench benchmem
 
 build:
 	$(GO) build ./...
@@ -22,7 +26,12 @@ test:
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run '^$$' -fuzz FuzzReadFrom -fuzztime $(FUZZTIME) ./internal/trace
 
 bench:
 	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -timeout 60m . \
 		| $(GO) run ./cmd/benchjson -out BENCH_$(DATE).json
+
+benchmem:
+	$(GO) test -run '^$$' -bench StreamVsBatchMemory -benchmem -benchtime 3x -timeout 30m . \
+		| $(GO) run ./cmd/benchjson -out BENCH_MEM_$(DATE).json

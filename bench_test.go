@@ -281,6 +281,59 @@ func BenchmarkAnalyzePipelineParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamVsBatchMemory compares the allocation footprint of the
+// two analysis paths on the same encoded 200-iteration stencil trace.
+// "batch" decodes the full trace and runs Analyze — allocations scale
+// with the record count. "stream" runs AnalyzeStream over the bytes
+// record by record through pooled blocks; "stream/online" adds
+// train-then-classify and incremental folding, so its allocations scale
+// with bursts and bins rather than records. Compare B/op across the
+// three sub-benchmarks in BENCH_MEM_<date>.json.
+func BenchmarkStreamVsBatchMemory(b *testing.B) {
+	tr, err := sim.Run(apps.DefaultTraceConfig(8), apps.NewStencil(200))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	b.Run("batch", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(raw)))
+		for i := 0; i < b.N; i++ {
+			tr, err := trace.ReadFrom(bytes.NewReader(raw))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := core.Analyze(tr, core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("stream", func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetBytes(int64(len(raw)))
+		for i := 0; i < b.N; i++ {
+			if _, err := core.AnalyzeStream(bytes.NewReader(raw), core.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("stream/online", func(b *testing.B) {
+		opts := core.Options{Stream: core.StreamOptions{Online: true}}
+		b.ReportAllocs()
+		b.SetBytes(int64(len(raw)))
+		for i := 0; i < b.N; i++ {
+			if _, err := core.AnalyzeStream(bytes.NewReader(raw), opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // benchClusteredPoints builds a labeled point set sized so the O(n²)
 // silhouette dominates.
 func benchClusteredPoints(n int) ([][]float64, []int) {

@@ -3,18 +3,31 @@
 // detected phase's internal evolution, with ASCII curve previews and the
 // heuristic advice the methodology derives.
 //
+// With -stream the trace is analyzed record by record as it is read —
+// from stdin by default, so tracegen output can be piped straight in
+// without ever materializing the trace:
+//
+//	tracegen -app stencil -o - | fold -stream
+//
+// Adding -online bounds memory regardless of trace length: phases are
+// classified on the fly from a training prefix and samples are folded
+// incrementally instead of being retained.
+//
 // Usage:
 //
 //	fold -in stencil.uvt [-counter PAPI_TOT_INS] [-bins 100] [-model binned+pchip]
 //	     [-phases 5] [-curves out_dir] [-iterations]
+//	fold -stream [-in stencil.uvt] [-online] [-train 512] [-stages]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/counters"
@@ -25,7 +38,7 @@ import (
 
 func main() {
 	var (
-		in         = flag.String("in", "", "input trace file (required)")
+		in         = flag.String("in", "", "input trace file (required unless -stream, which defaults to stdin)")
 		counter    = flag.String("counter", "", "restrict folding to one PAPI counter name (default: all)")
 		bins       = flag.Int("bins", 100, "folded-curve grid resolution")
 		model      = flag.String("model", "binned+pchip", "fit model: binned+pchip, kernel, binned")
@@ -33,20 +46,12 @@ func main() {
 		curves     = flag.String("curves", "", "directory to write per-phase folded-curve TSVs")
 		iterations = flag.Bool("iterations", false, "fold whole iterations (EvIteration markers) instead of clustered bursts")
 		par        = flag.Int("parallel", 0, "analysis worker count (0 = all cores, 1 = sequential); output is identical either way")
+		stream     = flag.Bool("stream", false, "analyze the trace record-by-record as it is read (stdin when -in is empty or \"-\")")
+		online     = flag.Bool("online", false, "with -stream: bounded-memory analysis (train-then-classify, incremental folding)")
+		train      = flag.Int("train", 0, "with -online: training-prefix length in bursts (0 = default 512)")
+		stages     = flag.Bool("stages", false, "with -stream: print per-stage pipeline metrics")
 	)
 	flag.Parse()
-	if *in == "" {
-		fatal(fmt.Errorf("missing -in"))
-	}
-	tr, err := trace.ReadFile(*in)
-	if err != nil {
-		fatal(err)
-	}
-
-	if *iterations {
-		foldIterations(tr, *counter, *bins)
-		return
-	}
 
 	opts := core.Options{MaxPhases: *phases, Parallelism: *par}
 	opts.Fold.Bins = *bins
@@ -68,13 +73,54 @@ func main() {
 		opts.Counters = []counters.Counter{c}
 	}
 
-	rep, err := core.Analyze(tr, opts)
-	if err != nil {
-		fatal(err)
+	var rep *core.Report
+	if *stream {
+		if *iterations {
+			fatal(fmt.Errorf("-iterations needs the full trace and cannot be combined with -stream"))
+		}
+		opts.Stream = core.StreamOptions{Online: *online, TrainBursts: *train}
+		r, closeIn, err := openInput(*in)
+		if err != nil {
+			fatal(err)
+		}
+		rep, err = core.AnalyzeStream(r, opts)
+		closeIn()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		if *online {
+			fatal(fmt.Errorf("-online requires -stream"))
+		}
+		if *in == "" {
+			fatal(fmt.Errorf("missing -in"))
+		}
+		tr, err := trace.ReadFile(*in)
+		if err != nil {
+			fatal(err)
+		}
+		if *iterations {
+			foldIterations(tr, *counter, *bins)
+			return
+		}
+		rep, err = core.Analyze(tr, opts)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
-	fmt.Printf("%s: %d ranks, %d bursts (%d filtered), %d phases detected\n\n",
-		rep.App, rep.Ranks, rep.Bursts, rep.Filtered, rep.Clustering.K)
+	mode := ""
+	if rep.Online {
+		mode = " (online classification)"
+	}
+	fmt.Printf("%s: %d ranks, %d bursts (%d filtered), %d phases detected%s\n\n",
+		rep.App, rep.Ranks, rep.Bursts, rep.Filtered, rep.Clustering.K, mode)
+	if rep.TrainErr != "" {
+		fmt.Printf("online training failed: %s — no phases classified\n\n", rep.TrainErr)
+	}
+	if *stages {
+		printStages(rep)
+	}
 
 	for _, ph := range rep.Phases {
 		fmt.Printf("── Phase %d ─ %d instances, %.3f s total, mean %.3f ms, IPC %.2f",
@@ -91,8 +137,13 @@ func main() {
 		sort.Slice(cs, func(i, j int) bool { return cs[i] < cs[j] })
 		for _, c := range cs {
 			f := ph.Folds[c]
-			fmt.Printf("\n%s: %d points folded from %d instances (%d pruned)\n",
-				c, len(f.Points), f.Instances, f.Pruned)
+			if rep.Online {
+				fmt.Printf("\n%s: folded incrementally from %d instances (%d pruned)\n",
+					c, f.Instances, f.Pruned)
+			} else {
+				fmt.Printf("\n%s: %d points folded from %d instances (%d pruned)\n",
+					c, len(f.Points), f.Instances, f.Pruned)
+			}
 			fmt.Print(report.ASCIIPlot(
 				fmt.Sprintf("  instantaneous %s rate (per µs) over normalized time", c),
 				f.Grid, scale(f.Rate, 1e3), 72, 12))
@@ -119,7 +170,7 @@ func main() {
 				if i > 0 {
 					fmt.Print(", ")
 				}
-				fmt.Print(tr.Meta.RegionName(id))
+				fmt.Print(rep.Meta.RegionName(id))
 			}
 			fmt.Println()
 			if trs := ph.Stacks.Transitions(); len(trs) > 0 {
@@ -134,6 +185,32 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// openInput resolves the streaming input: stdin when path is empty or
+// "-", the named file otherwise.
+func openInput(path string) (io.Reader, func(), error) {
+	if path == "" || path == "-" {
+		return os.Stdin, func() {}, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
+}
+
+// printStages renders the pipeline's per-stage metrics.
+func printStages(rep *core.Report) {
+	fmt.Println("pipeline stages:")
+	for _, m := range rep.Pipeline {
+		fmt.Printf("  %-9s in=%-9d out=%-7d", m.Stage, m.RecordsIn, m.RecordsOut)
+		if m.Bytes > 0 {
+			fmt.Printf(" bytes=%-9d", m.Bytes)
+		}
+		fmt.Printf(" wall=%s\n", m.Wall.Round(10*time.Microsecond))
+	}
+	fmt.Println()
 }
 
 // foldIterations runs marker-driven iteration folding instead of the

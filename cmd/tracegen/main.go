@@ -1,6 +1,8 @@
 // Command tracegen runs one of the built-in synthetic applications under
 // the simulator and writes the resulting trace, optionally also in the
-// Paraver-style text format.
+// Paraver-style text format. With -o - the encoded trace goes to stdout
+// (status to stderr), so it can be piped straight into a streaming
+// consumer: tracegen -app stencil -o - | fold -stream.
 //
 // Usage:
 //
@@ -52,6 +54,18 @@ func main() {
 	path := *out
 	if path == "" {
 		path = *appName + ".uvt"
+	}
+	if path == "-" {
+		if *prv {
+			fatal(fmt.Errorf("-prv needs a file path, not stdout"))
+		}
+		if err := tr.Write(os.Stdout); err != nil {
+			fatal(err)
+		}
+		st := tr.Stats()
+		fmt.Fprintf(os.Stderr, "wrote trace to stdout: %d ranks, %.3f s virtual time, %d events, %d samples, %d comms\n",
+			tr.Meta.Ranks, float64(st.Duration)/1e9, st.Events, st.Samples, st.Comms)
+		return
 	}
 	if err := tr.WriteFile(path); err != nil {
 		fatal(err)

@@ -1,18 +1,25 @@
 // Command trstats prints a trace's flat profile and detected temporal
 // structure — the quick first look an analyst takes before folding.
 //
+// With -stream the trace is consumed record by record through the
+// streaming pipeline (stdin when -in is empty), never materializing it:
+// tracegen -o - | trstats -stream.
+//
 // Usage:
 //
 //	trstats -in stencil.uvt
+//	trstats -stream [-in stencil.uvt]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/burst"
 	"repro/internal/cluster"
+	"repro/internal/pipeline"
 	"repro/internal/profile"
 	"repro/internal/structure"
 	"repro/internal/trace"
@@ -20,10 +27,15 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("in", "", "input trace file (required)")
+		in     = flag.String("in", "", "input trace file (required unless -stream, which defaults to stdin)")
 		minDur = flag.Float64("min-duration", 50, "burst duration filter in µs")
+		stream = flag.Bool("stream", false, "consume the trace record-by-record (stdin when -in is empty or \"-\")")
 	)
 	flag.Parse()
+	if *stream {
+		streamStats(*in, *minDur)
+		return
+	}
 	if *in == "" {
 		fatal(fmt.Errorf("missing -in"))
 	}
@@ -41,7 +53,54 @@ func main() {
 	}
 	fmt.Print(p.Format())
 
-	its := structure.Iterations(tr)
+	printIterations(structure.Iterations(tr))
+
+	all, err := burst.Extract(tr)
+	if err != nil {
+		fatal(err)
+	}
+	kept, _ := burst.Filter{MinDuration: trace.Time(*minDur * 1e3)}.Apply(all)
+	printStructure(kept, cluster.ClusterBursts(kept, cluster.Config{UseIPC: true}).K, nil)
+}
+
+// streamStats produces the same first look from a record stream via the
+// analysis pipeline, skipping sample attachment (this tool never needs
+// the samples).
+func streamStats(in string, minDur float64) {
+	r := io.Reader(os.Stdin)
+	if in != "" && in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	sr, err := trace.NewStreamReader(r)
+	if err != nil {
+		fatal(err)
+	}
+	out, err := pipeline.Run(sr, pipeline.Config{
+		MinBurstDuration: trace.Time(minDur * 1e3),
+		Cluster:          cluster.Config{UseIPC: true},
+		NoSamples:        true,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d ranks, %.3f s, %d events, %d samples, %d comms\n\n",
+		out.Meta.App, out.Meta.Ranks, float64(out.Meta.Duration)/1e9,
+		out.Records.Events, out.Records.Samples, out.Records.Comms)
+	if out.Profile != nil {
+		fmt.Print(out.Profile.Format())
+	} else {
+		fatal(fmt.Errorf("%s", out.ProfileErr))
+	}
+	printIterations(out.Iterations)
+	printStructure(out.Kept, out.Clustering.K, out.Loops)
+}
+
+func printIterations(its structure.IterationStats) {
 	if its.Count > 0 {
 		agree := ""
 		if !its.RanksAgree {
@@ -50,19 +109,20 @@ func main() {
 		fmt.Printf("\niterations: %d%s, mean %.3f ms, CV %.1f%%\n",
 			its.Count, agree, its.MeanDuration/1e6, 100*its.CV)
 	}
+}
 
-	all, err := burst.Extract(tr)
-	if err != nil {
-		fatal(err)
-	}
-	kept, _ := burst.Filter{MinDuration: trace.Time(*minDur * 1e3)}.Apply(all)
+// printStructure prints the phase count and repetition structure; loops
+// may be precomputed (streaming) or derived here from the kept bursts.
+func printStructure(kept []burst.Burst, k int, loops []structure.Loop) {
 	if len(kept) == 0 {
 		fmt.Println("\nno bursts after filtering — nothing to structure")
 		return
 	}
-	res := cluster.ClusterBursts(kept, cluster.Config{UseIPC: true})
-	fmt.Printf("\n%d bursts in %d phases; repetition structure:\n", len(kept), res.K)
-	for _, l := range structure.DetectLoops(structure.Sequences(kept)) {
+	if loops == nil {
+		loops = structure.DetectLoops(structure.Sequences(kept))
+	}
+	fmt.Printf("\n%d bursts in %d phases; repetition structure:\n", len(kept), k)
+	for _, l := range loops {
 		fmt.Println("  " + l.String())
 	}
 }

@@ -46,71 +46,112 @@ func (b *Burst) Instructions() int64 { return b.Delta[counters.TotIns] }
 // IPC returns instructions per cycle over the burst.
 func (b *Burst) IPC() float64 { return b.Delta.IPC() }
 
-// Extract walks the trace and returns every computation burst, in global
-// (Start, Rank) order. A burst opens at the trace start or at an MPI exit
-// and closes at the next MPI enter on the same rank. Bursts need counter
-// snapshots on both delimiting probes (the trace-start baseline is zero);
-// bursts of zero duration are skipped.
-func Extract(tr *trace.Trace) ([]Burst, error) {
-	type state struct {
-		boundary    trace.Time
-		baseline    counters.Values
-		hasBaseline bool
-		inMPI       bool
-		oracle      int64
-		index       int
-	}
-	if tr.Meta.Ranks < 1 {
+// Extractor is the incremental burst extraction state machine: feed it
+// the trace's events in time order and it yields each computation burst
+// the moment the closing MPI enter arrives. It is the unit of work behind
+// Extract and the streaming pipeline's extraction stage, so both paths
+// run identical logic.
+type Extractor struct {
+	states []extractState
+}
+
+type extractState struct {
+	boundary    trace.Time
+	baseline    counters.Values
+	hasBaseline bool
+	inMPI       bool
+	oracle      int64
+	index       int
+}
+
+// NewExtractor creates an extractor for a trace with the given rank
+// count.
+func NewExtractor(ranks int) (*Extractor, error) {
+	if ranks < 1 {
 		return nil, fmt.Errorf("burst: trace has no ranks")
 	}
-	states := make([]state, tr.Meta.Ranks)
-	for i := range states {
-		states[i].hasBaseline = true // trace start: time 0, zero counters
+	x := &Extractor{states: make([]extractState, ranks)}
+	for i := range x.states {
+		x.states[i].hasBaseline = true // trace start: time 0, zero counters
+	}
+	return x, nil
+}
+
+// Add feeds one event. When the event closes a burst, the burst is
+// returned with ok true. A burst opens at the trace start or at an MPI
+// exit and closes at the next MPI enter on the same rank; bursts need
+// counter snapshots on both delimiting probes (the trace-start baseline
+// is zero) and bursts of zero duration are skipped.
+func (x *Extractor) Add(e *trace.Event) (b Burst, ok bool, err error) {
+	if int(e.Rank) >= len(x.states) || e.Rank < 0 {
+		return b, false, fmt.Errorf("burst: event rank %d out of range", e.Rank)
+	}
+	st := &x.states[e.Rank]
+	switch e.Type {
+	case trace.EvOracle:
+		if e.Value != 0 && st.oracle == 0 {
+			st.oracle = e.Value
+		}
+	case trace.EvMPI:
+		if e.Value != 0 {
+			// MPI enter closes the current burst.
+			if !st.inMPI && st.hasBaseline && e.HasCounters && e.Time > st.boundary {
+				b = Burst{
+					Rank:     e.Rank,
+					Index:    st.index,
+					Start:    st.boundary,
+					End:      e.Time,
+					Delta:    e.Counters.Sub(st.baseline),
+					Base:     st.baseline,
+					OracleID: st.oracle,
+				}
+				ok = true
+				st.index++
+			}
+			st.inMPI = true
+			st.oracle = 0
+		} else {
+			// MPI exit opens the next burst.
+			st.inMPI = false
+			st.boundary = e.Time
+			st.baseline = e.Counters
+			st.hasBaseline = e.HasCounters
+			st.oracle = 0
+		}
+	}
+	return b, ok, nil
+}
+
+// Sort orders bursts in the global (Start, Rank) order Extract
+// guarantees. The sort is stable, so per-rank sequence order is
+// preserved.
+func Sort(bursts []Burst) {
+	sort.SliceStable(bursts, func(i, j int) bool {
+		if bursts[i].Start != bursts[j].Start {
+			return bursts[i].Start < bursts[j].Start
+		}
+		return bursts[i].Rank < bursts[j].Rank
+	})
+}
+
+// Extract walks the trace and returns every computation burst, in global
+// (Start, Rank) order. It is a thin batch wrapper over Extractor.
+func Extract(tr *trace.Trace) ([]Burst, error) {
+	x, err := NewExtractor(tr.Meta.Ranks)
+	if err != nil {
+		return nil, err
 	}
 	var out []Burst
-	for _, e := range tr.Events {
-		if int(e.Rank) >= len(states) {
-			return nil, fmt.Errorf("burst: event rank %d out of range", e.Rank)
+	for i := range tr.Events {
+		b, ok, err := x.Add(&tr.Events[i])
+		if err != nil {
+			return nil, err
 		}
-		st := &states[e.Rank]
-		switch e.Type {
-		case trace.EvOracle:
-			if e.Value != 0 && st.oracle == 0 {
-				st.oracle = e.Value
-			}
-		case trace.EvMPI:
-			if e.Value != 0 {
-				// MPI enter closes the current burst.
-				if !st.inMPI && st.hasBaseline && e.HasCounters && e.Time > st.boundary {
-					out = append(out, Burst{
-						Rank:     e.Rank,
-						Index:    st.index,
-						Start:    st.boundary,
-						End:      e.Time,
-						Delta:    e.Counters.Sub(st.baseline),
-						Base:     st.baseline,
-						OracleID: st.oracle,
-					})
-					st.index++
-				}
-				st.inMPI = true
-				st.oracle = 0
-			} else {
-				// MPI exit opens the next burst.
-				st.inMPI = false
-				st.boundary = e.Time
-				st.baseline = e.Counters
-				st.hasBaseline = e.HasCounters
-				st.oracle = 0
-			}
+		if ok {
+			out = append(out, b)
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Start != out[j].Start {
-			return out[i].Start < out[j].Start
-		}
-		return out[i].Rank < out[j].Rank
-	})
+	Sort(out)
 	return out, nil
 }
 

@@ -243,8 +243,8 @@ type burstApp struct {
 	ks []*kernels.Kernel
 }
 
-func (a *burstApp) Name() string                { return "bursts" }
-func (a *burstApp) Kernels() []*kernels.Kernel  { return a.ks }
+func (a *burstApp) Name() string               { return "bursts" }
+func (a *burstApp) Kernels() []*kernels.Kernel { return a.ks }
 func (a *burstApp) Run(r *sim.Rank) {
 	for i := 0; i < 3; i++ {
 		r.Compute(a.ks[0])

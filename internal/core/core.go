@@ -1,10 +1,12 @@
-// Package core is the analysis pipeline — the public entry point a tool
-// user drives. Analyze consumes a trace and produces, per detected
-// computation phase: the folded internal evolution of each hardware
-// counter, the folded call-stack view, per-rank balance statistics, and
-// heuristic performance advice, mirroring the paper's automated
-// methodology (burst clustering for structure detection + folding for
-// fine-grain insight).
+// Package core is the analysis front-end — the public entry point a tool
+// user drives. Analyze consumes a trace (and AnalyzeStream an encoded
+// trace stream) and produces, per detected computation phase: the folded
+// internal evolution of each hardware counter, the folded call-stack
+// view, per-rank balance statistics, and heuristic performance advice,
+// mirroring the paper's automated methodology (burst clustering for
+// structure detection + folding for fine-grain insight). Both entry
+// points run the same internal/pipeline stages, so batch and streaming
+// analysis cannot drift apart.
 package core
 
 import (
@@ -18,6 +20,7 @@ import (
 	"repro/internal/counters"
 	"repro/internal/folding"
 	"repro/internal/parallel"
+	"repro/internal/pipeline"
 	"repro/internal/profile"
 	"repro/internal/structure"
 	"repro/internal/trace"
@@ -48,6 +51,39 @@ type Options struct {
 	// 1 forces a fully sequential pipeline. The Report is deep-equal for
 	// every value (see TestAnalyzeParallelDeterminism).
 	Parallelism int
+	// Stream configures the streaming-specific behavior.
+	Stream StreamOptions
+}
+
+// StreamOptions selects how much the analysis may buffer. The zero value
+// is exact mode: kept bursts and their samples are retained until the
+// end of the event section so clustering and folding see exactly what a
+// batch run sees, and the Report is deep-equal to Analyze's.
+type StreamOptions struct {
+	// Online switches to bounded-memory analysis: a centroid classifier
+	// is trained on the first TrainBursts kept bursts and assigns the
+	// rest as they arrive, and samples are folded incrementally per phase
+	// instead of being retained. Memory then scales with bursts + bins
+	// rather than records, at the cost of approximate phase assignments.
+	// Phases in the resulting Report carry no FoldInstances.
+	Online bool
+	// TrainBursts is the online training-prefix length (default 512).
+	TrainBursts int
+}
+
+// pipelineConfig translates Options into the pipeline's configuration.
+func (o *Options) pipelineConfig() pipeline.Config {
+	return pipeline.Config{
+		MinBurstDuration: o.MinBurstDuration,
+		Cluster:          o.Cluster,
+		Fold:             o.Fold,
+		Counters:         o.Counters,
+		StackBins:        o.StackBins,
+		MaxPhases:        o.MaxPhases,
+		Parallelism:      o.Parallelism,
+		Online:           o.Stream.Online,
+		TrainBursts:      o.Stream.TrainBursts,
+	}
 }
 
 func (o *Options) setDefaults() {
@@ -123,6 +159,18 @@ type Report struct {
 	App string
 	// Ranks is the rank count.
 	Ranks int
+	// Meta is the trace metadata the analysis ran against.
+	Meta trace.Metadata
+	// Records counts the trace records the analysis consumed, by kind.
+	Records pipeline.RecordCounts
+	// Online reports whether the bounded-memory streaming path produced
+	// this analysis (see StreamOptions); TrainErr records a failed online
+	// classifier training (the report then has zero phases).
+	Online   bool
+	TrainErr string
+	// Pipeline carries the per-stage metrics (records in/out, bytes, wall
+	// time) of the analysis run, in stage order.
+	Pipeline []pipeline.Metrics
 	// Bursts is the number of bursts extracted; Filtered the number
 	// dropped by the duration filter.
 	Bursts, Filtered int
@@ -149,42 +197,48 @@ type Report struct {
 	Phases []Phase
 }
 
-// Analyze runs the full pipeline on a trace.
+// Analyze runs the full pipeline on an in-memory trace. It streams the
+// trace through the same stage implementations AnalyzeStream uses, so
+// the two are equivalent by construction (and verified deep-equal by
+// TestAnalyzeStreamEquivalence).
 func Analyze(tr *trace.Trace, opts Options) (*Report, error) {
 	opts.setDefaults()
 	if err := tr.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-
-	all, err := burst.Extract(tr)
+	out, err := pipeline.Run(trace.NewTraceSource(tr), opts.pipelineConfig())
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	kept, _ := burst.Filter{MinDuration: opts.MinBurstDuration}.Apply(all)
+	return assemble(out, opts), nil
+}
+
+// assemble turns a pipeline outcome into the public Report.
+func assemble(out *pipeline.Outcome, opts Options) *Report {
 	rep := &Report{
-		App:          tr.Meta.App,
-		Ranks:        tr.Meta.Ranks,
-		Bursts:       len(all),
-		Filtered:     len(all) - len(kept),
-		CoverageKept: burst.Coverage(kept, all),
+		App:                 out.Meta.App,
+		Ranks:               out.Meta.Ranks,
+		Meta:                out.Meta,
+		Records:             out.Records,
+		Online:              out.Online,
+		TrainErr:            out.TrainErr,
+		Pipeline:            out.Stages,
+		Bursts:              out.Bursts,
+		Filtered:            out.Bursts - len(out.Kept),
+		CoverageKept:        out.CoverageKept,
+		Clustering:          out.Clustering,
+		ClusterTimeCoverage: out.ClusterTimeCoverage,
+		Profile:             out.Profile,
+		ProfileErr:          out.ProfileErr,
+		Iterations:          out.Iterations,
+		Loops:               out.Loops,
+		SPMDScore:           out.SPMDScore,
 	}
-	if p, err := profile.Compute(tr); err == nil {
-		rep.Profile = p
-	} else {
-		rep.ProfileErr = err.Error()
+	if out.Online {
+		rep.Phases = assembleOnline(out, opts)
+		return rep
 	}
-	rep.Iterations = structure.Iterations(tr)
-	if len(kept) == 0 {
-		return rep, nil
-	}
-
-	rep.Clustering = cluster.ClusterBursts(kept, opts.Cluster)
-	rep.ClusterTimeCoverage = cluster.ClusterTimeCoverage(kept, rep.Clustering.Assign)
-	seqs := structure.Sequences(kept)
-	rep.Loops = structure.DetectLoops(seqs)
-	rep.SPMDScore = structure.SPMDScore(seqs)
-
-	attached := burst.AttachSamples(tr, kept)
+	kept := out.Kept
 	nPhases := rep.Clustering.K
 	if nPhases > opts.MaxPhases {
 		nPhases = opts.MaxPhases
@@ -196,72 +250,21 @@ func Analyze(tr *trace.Trace, opts Options) (*Report, error) {
 		rep.Phases = make([]Phase, nPhases)
 		parallel.ForEach(nPhases, opts.Parallelism, func(idx int) {
 			cid := idx + 1
-			instances := folding.InstancesFromBursts(kept, attached, cid)
-			rep.Phases[idx] = analyzePhase(tr, kept, instances, cid, opts)
+			instances := folding.InstancesFromBursts(kept, out.Attached, cid)
+			rep.Phases[idx] = analyzePhase(&out.Meta, kept, instances, cid, opts)
 		})
 	}
-	return rep, nil
+	return rep
 }
 
-func analyzePhase(tr *trace.Trace, kept []burst.Burst, instances []folding.Instance, cid int, opts Options) Phase {
+func analyzePhase(meta *trace.Metadata, kept []burst.Burst, instances []folding.Instance, cid int, opts Options) Phase {
 	ph := Phase{
 		ClusterID:     cid,
-		Instances:     len(instances),
 		FoldInstances: instances,
 		Folds:         make(map[counters.Counter]*folding.Result),
 		FoldErrors:    make(map[counters.Counter]error),
 	}
-
-	// Aggregate statistics and oracle purity from the member bursts.
-	oracleCount := map[int64]int{}
-	var ipcSum float64
-	rankSum := parallel.GetFloat64(tr.Meta.Ranks)
-	defer parallel.PutFloat64(rankSum)
-	rankN := make([]int, tr.Meta.Ranks)
-	for i := range kept {
-		if kept[i].Cluster != cid {
-			continue
-		}
-		d := kept[i].Duration()
-		ph.TotalTime += d
-		ipcSum += kept[i].IPC()
-		rankSum[kept[i].Rank] += float64(d)
-		rankN[kept[i].Rank]++
-		if kept[i].OracleID != 0 {
-			oracleCount[kept[i].OracleID]++
-		}
-	}
-	if ph.Instances > 0 {
-		ph.MeanDuration = float64(ph.TotalTime) / float64(ph.Instances)
-		ph.MeanIPC = ipcSum / float64(ph.Instances)
-	}
-	ph.RankMeanDuration = make([]float64, tr.Meta.Ranks)
-	var rankMeanSum float64
-	var rankCount int
-	maxRank := 0.0
-	for r := range rankSum {
-		if rankN[r] > 0 {
-			ph.RankMeanDuration[r] = rankSum[r] / float64(rankN[r])
-			rankMeanSum += ph.RankMeanDuration[r]
-			rankCount++
-			if ph.RankMeanDuration[r] > maxRank {
-				maxRank = ph.RankMeanDuration[r]
-			}
-		}
-	}
-	if rankCount > 0 && rankMeanSum > 0 {
-		ph.ImbalanceFactor = maxRank / (rankMeanSum / float64(rankCount))
-	}
-	totalOracle := 0
-	for id, n := range oracleCount {
-		totalOracle += n
-		if n > oracleCount[ph.MajorityOracle] {
-			ph.MajorityOracle = id
-		}
-	}
-	if totalOracle > 0 {
-		ph.OraclePurity = float64(oracleCount[ph.MajorityOracle]) / float64(totalOracle)
-	}
+	aggregatePhase(&ph, meta, kept, cid)
 
 	// Fold every requested counter. Each fold reads the shared instances
 	// and produces an independent Result, so the counters fan out onto
@@ -288,13 +291,70 @@ func analyzePhase(tr *trace.Trace, kept []burst.Burst, instances []folding.Insta
 		ph.Stacks = st
 	}
 
-	ph.Advice = advise(tr, &ph)
+	ph.Advice = advise(meta, &ph)
 	return ph
+}
+
+// aggregatePhase fills the burst-derived statistics of phase cid —
+// instance counts, durations, IPC, per-rank balance, oracle purity. It
+// is shared by the offline assembly and the streaming assembly, which
+// differ only in where the folded views come from.
+func aggregatePhase(ph *Phase, meta *trace.Metadata, kept []burst.Burst, cid int) {
+	oracleCount := map[int64]int{}
+	var ipcSum float64
+	rankSum := parallel.GetFloat64(meta.Ranks)
+	defer parallel.PutFloat64(rankSum)
+	rankN := make([]int, meta.Ranks)
+	for i := range kept {
+		if kept[i].Cluster != cid {
+			continue
+		}
+		ph.Instances++
+		d := kept[i].Duration()
+		ph.TotalTime += d
+		ipcSum += kept[i].IPC()
+		rankSum[kept[i].Rank] += float64(d)
+		rankN[kept[i].Rank]++
+		if kept[i].OracleID != 0 {
+			oracleCount[kept[i].OracleID]++
+		}
+	}
+	if ph.Instances > 0 {
+		ph.MeanDuration = float64(ph.TotalTime) / float64(ph.Instances)
+		ph.MeanIPC = ipcSum / float64(ph.Instances)
+	}
+	ph.RankMeanDuration = make([]float64, meta.Ranks)
+	var rankMeanSum float64
+	var rankCount int
+	maxRank := 0.0
+	for r := range rankSum {
+		if rankN[r] > 0 {
+			ph.RankMeanDuration[r] = rankSum[r] / float64(rankN[r])
+			rankMeanSum += ph.RankMeanDuration[r]
+			rankCount++
+			if ph.RankMeanDuration[r] > maxRank {
+				maxRank = ph.RankMeanDuration[r]
+			}
+		}
+	}
+	if rankCount > 0 && rankMeanSum > 0 {
+		ph.ImbalanceFactor = maxRank / (rankMeanSum / float64(rankCount))
+	}
+	totalOracle := 0
+	for id, n := range oracleCount {
+		totalOracle += n
+		if n > oracleCount[ph.MajorityOracle] {
+			ph.MajorityOracle = id
+		}
+	}
+	if totalOracle > 0 {
+		ph.OraclePurity = float64(oracleCount[ph.MajorityOracle]) / float64(totalOracle)
+	}
 }
 
 // advise derives heuristic performance observations from a phase analysis,
 // the kind of suggestions the paper draws from folded views.
-func advise(tr *trace.Trace, ph *Phase) []string {
+func advise(meta *trace.Metadata, ph *Phase) []string {
 	var out []string
 
 	if ph.ImbalanceFactor > 1.15 {
@@ -345,7 +405,7 @@ func advise(tr *trace.Trace, ph *Phase) []string {
 		if trs := ph.Stacks.Transitions(); len(trs) > 0 {
 			names := make([]string, 0, len(ph.Stacks.Regions))
 			for _, id := range ph.Stacks.Regions {
-				names = append(names, tr.Meta.RegionName(id))
+				names = append(names, meta.RegionName(id))
 			}
 			out = append(out, fmt.Sprintf(
 				"call-stack folding attributes the phase to %d regions (%s) with transitions at %s",
@@ -361,7 +421,7 @@ func advise(tr *trace.Trace, ph *Phase) []string {
 				if tm > 0.1 && ins > 0 && ins < 0.6*tm {
 					out = append(out, fmt.Sprintf(
 						"region %s retires %.0f%% of the instructions in %.0f%% of the time — the phase's low-efficiency stretch",
-						tr.Meta.RegionName(id), 100*ins, 100*tm))
+						meta.RegionName(id), 100*ins, 100*tm))
 				}
 			}
 		}

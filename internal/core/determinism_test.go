@@ -33,12 +33,7 @@ func TestAnalyzeParallelDeterminism(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			// reflect.DeepEqual treats NaN != NaN; the silhouette is the
-			// only field that can legitimately be NaN, so normalize it when
-			// both sides agree it is.
-			if math.IsNaN(seq.Clustering.Silhouette) && math.IsNaN(par.Clustering.Silhouette) {
-				seq.Clustering.Silhouette, par.Clustering.Silhouette = 0, 0
-			}
+			normalizeReport(seq, par)
 			if len(par.Phases) != len(seq.Phases) {
 				t.Fatalf("%s p=%d: %d phases vs %d sequential", name, p, len(par.Phases), len(seq.Phases))
 			}
@@ -51,6 +46,25 @@ func TestAnalyzeParallelDeterminism(t *testing.T) {
 				t.Fatalf("%s p=%d: parallel Report differs from sequential outside the phases", name, p)
 			}
 		}
+	}
+}
+
+// normalizeReport clears the fields two equivalent Reports may
+// legitimately disagree on before a reflect.DeepEqual comparison: stage
+// wall-clock times and byte counts (timing is not part of the analytical
+// contract, and only a decoding source knows its encoded size) and a NaN
+// silhouette (reflect.DeepEqual treats NaN != NaN; the silhouette is
+// the only field that can legitimately be NaN, so it is zeroed when both
+// sides agree it is).
+func normalizeReport(a, b *Report) {
+	for i := range a.Pipeline {
+		a.Pipeline[i].Wall, a.Pipeline[i].Bytes = 0, 0
+	}
+	for i := range b.Pipeline {
+		b.Pipeline[i].Wall, b.Pipeline[i].Bytes = 0, 0
+	}
+	if math.IsNaN(a.Clustering.Silhouette) && math.IsNaN(b.Clustering.Silhouette) {
+		a.Clustering.Silhouette, b.Clustering.Silhouette = 0, 0
 	}
 }
 

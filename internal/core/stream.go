@@ -1,0 +1,55 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/parallel"
+	"repro/internal/pipeline"
+	"repro/internal/trace"
+)
+
+// AnalyzeStream runs the full pipeline on an encoded trace read from r,
+// record by record, without materializing the trace in memory. With the
+// default (exact) StreamOptions the resulting Report is deep-equal to
+// Analyze on the decoded trace; with Stream.Online set, memory stays
+// bounded by bursts + folding bins regardless of how many samples the
+// stream carries.
+func AnalyzeStream(r io.Reader, opts Options) (*Report, error) {
+	opts.setDefaults()
+	sr, err := trace.NewStreamReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	out, err := pipeline.Run(sr, opts.pipelineConfig())
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return assemble(out, opts), nil
+}
+
+// assembleOnline builds the Report's phases from the pipeline's
+// incrementally-folded snapshots. The burst-derived aggregates come from
+// the same code path as the offline assembly; only the folded views
+// differ (snapshots of running accumulators instead of offline fits over
+// retained instances), and FoldInstances stays nil since the stream
+// never kept the samples.
+func assembleOnline(out *pipeline.Outcome, opts Options) []Phase {
+	if len(out.OnlinePhases) == 0 {
+		return nil
+	}
+	phases := make([]Phase, len(out.OnlinePhases))
+	parallel.ForEach(len(out.OnlinePhases), opts.Parallelism, func(i int) {
+		pf := out.OnlinePhases[i]
+		ph := Phase{
+			ClusterID:  pf.ClusterID,
+			Folds:      pf.Folds,
+			FoldErrors: pf.FoldErrors,
+			Stacks:     pf.Stacks,
+		}
+		aggregatePhase(&ph, &out.Meta, out.Kept, pf.ClusterID)
+		ph.Advice = advise(&out.Meta, &ph)
+		phases[i] = ph
+	})
+	return phases
+}

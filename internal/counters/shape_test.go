@@ -132,17 +132,17 @@ func TestLinearNormalization(t *testing.T) {
 
 func TestShapeConstructorPanics(t *testing.T) {
 	for name, f := range map[string]func(){
-		"linear-negative":    func() { Linear(-1, 2) },
-		"linear-both-zero":   func() { Linear(0, 0) },
-		"sine-amp-too-big":   func() { Sine(1, 2) },
-		"sine-neg-amp":       func() { Sine(-0.1, 2) },
-		"sine-zero-cycles":   func() { Sine(0.5, 0) },
-		"expdecay-ratio":     func() { ExpDecay(-1, 0.5) },
-		"expdecay-tau":       func() { ExpDecay(1, 0) },
-		"piecewise-empty":    func() { Piecewise() },
-		"piecewise-zero-w":   func() { Piecewise(Segment{Width: 0, Area: 1}) },
-		"piecewise-zero-a":   func() { Piecewise(Segment{Width: 1, Area: 0}) },
-		"tableshape-tooFew":  func() { NewTableShape([]float64{1}) },
+		"linear-negative":   func() { Linear(-1, 2) },
+		"linear-both-zero":  func() { Linear(0, 0) },
+		"sine-amp-too-big":  func() { Sine(1, 2) },
+		"sine-neg-amp":      func() { Sine(-0.1, 2) },
+		"sine-zero-cycles":  func() { Sine(0.5, 0) },
+		"expdecay-ratio":    func() { ExpDecay(-1, 0.5) },
+		"expdecay-tau":      func() { ExpDecay(1, 0) },
+		"piecewise-empty":   func() { Piecewise() },
+		"piecewise-zero-w":  func() { Piecewise(Segment{Width: 0, Area: 1}) },
+		"piecewise-zero-a":  func() { Piecewise(Segment{Width: 1, Area: 0}) },
+		"tableshape-tooFew": func() { NewTableShape([]float64{1}) },
 	} {
 		func() {
 			defer func() {

@@ -34,7 +34,6 @@ func FoldStacks(instances []Instance, bins int) *StackResult {
 	for i := range counts {
 		counts[i] = make(map[uint32]int)
 	}
-	totalPerRegion := make(map[uint32]int)
 	total := 0
 	for i := range instances {
 		in := &instances[i]
@@ -54,10 +53,22 @@ func FoldStacks(instances []Instance, bins int) *StackResult {
 			if b >= bins {
 				b = bins - 1
 			}
-			top := s.Stack[0]
-			counts[b][top]++
-			totalPerRegion[top]++
+			counts[b][s.Stack[0]]++
 			total++
+		}
+	}
+	return NewStackResult(counts, total)
+}
+
+// NewStackResult assembles a StackResult from per-bin innermost-frame
+// counts — the shared back end of FoldStacks and the streaming
+// online.StackFolder, so both produce identically-shaped views.
+func NewStackResult(counts []map[uint32]int, total int) *StackResult {
+	bins := len(counts)
+	totalPerRegion := make(map[uint32]int)
+	for _, c := range counts {
+		for id, n := range c {
+			totalPerRegion[id] += n
 		}
 	}
 

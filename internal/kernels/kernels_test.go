@@ -32,12 +32,12 @@ func TestValidateAcceptsGood(t *testing.T) {
 
 func TestValidateRejects(t *testing.T) {
 	cases := map[string]func(k *Kernel){
-		"no name":           func(k *Kernel) { k.Name = "" },
-		"zero id":           func(k *Kernel) { k.ID = 0 },
-		"neg id":            func(k *Kernel) { k.ID = -3 },
-		"zero duration":     func(k *Kernel) { k.MeanDuration = 0 },
-		"neg noise":         func(k *Kernel) { k.NoiseCV = -0.1 },
-		"neg counter":       func(k *Kernel) { k.Counters[0].Total = -1 },
+		"no name":       func(k *Kernel) { k.Name = "" },
+		"zero id":       func(k *Kernel) { k.ID = 0 },
+		"neg id":        func(k *Kernel) { k.ID = -3 },
+		"zero duration": func(k *Kernel) { k.MeanDuration = 0 },
+		"neg noise":     func(k *Kernel) { k.NoiseCV = -0.1 },
+		"neg counter":   func(k *Kernel) { k.Counters[0].Total = -1 },
 		"region not increasing": func(k *Kernel) {
 			k.Regions = []RegionSpan{{UpTo: 0.5, Name: "a"}, {UpTo: 0.5, Name: "b"}}
 		},

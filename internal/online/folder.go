@@ -32,6 +32,21 @@ type Folder struct {
 	points             int
 }
 
+// NewFolderConfig creates an incremental folder from an offline folding
+// configuration, so the streaming pipeline and core.Options drive both
+// folding paths with one config: Bins maps directly; a non-zero PruneK
+// overrides the online default (note the semantics differ — running
+// standard deviations here, median/MAD offline). Config fields without a
+// streaming counterpart (Model, KernelBandwidth, segmentation) are
+// ignored: the folder always follows the binned-PCHIP path.
+func NewFolderConfig(c counters.Counter, cfg folding.Config) *Folder {
+	f := NewFolder(c, cfg.Bins)
+	if cfg.PruneK != 0 {
+		f.PruneK = cfg.PruneK
+	}
+	return f
+}
+
 // NewFolder creates an incremental folder.
 func NewFolder(c counters.Counter, bins int) *Folder {
 	if bins <= 0 {

@@ -18,6 +18,11 @@ import (
 
 // Classifier assigns bursts to phases learned from a training set.
 type Classifier struct {
+	// Training is the offline clustering of the training prefix the
+	// centroids were compressed from; streaming consumers report its K,
+	// eps and quality metrics since no full-set clustering ever exists.
+	Training cluster.Result
+
 	centroids []centroid
 	// maxDist is the squared acceptance radius in feature space, per
 	// centroid; bursts farther from every centroid classify as noise.
@@ -42,7 +47,7 @@ func Train(training []burst.Burst, cfg cluster.Config) (*Classifier, error) {
 	if res.K == 0 {
 		return nil, fmt.Errorf("online: training found no clusters")
 	}
-	c := &Classifier{useIPC: cfg.UseIPC || true}
+	c := &Classifier{Training: res, useIPC: cfg.UseIPC || true}
 
 	// Features must be recomputed in *raw* (unnormalized) space so that
 	// classification does not depend on the training min-max: store raw

@@ -1,0 +1,62 @@
+package online
+
+import (
+	"repro/internal/folding"
+)
+
+// StackFolder incrementally folds call stacks: each incoming instance's
+// sampled innermost frames are counted into fixed normalized-time bins,
+// so the streaming pipeline can produce the folded call-stack view with
+// O(bins × regions) memory instead of retaining the sample cloud. Its
+// Snapshot assembles the same StackResult shape FoldStacks produces.
+type StackFolder struct {
+	bins   int
+	counts []map[uint32]int
+	total  int
+}
+
+// NewStackFolder creates an incremental call-stack folder (bins < 1
+// selects the FoldStacks default of 50).
+func NewStackFolder(bins int) *StackFolder {
+	if bins < 1 {
+		bins = 50
+	}
+	sf := &StackFolder{bins: bins, counts: make([]map[uint32]int, bins)}
+	for i := range sf.counts {
+		sf.counts[i] = make(map[uint32]int)
+	}
+	return sf
+}
+
+// Add folds one instance's stack samples into the bins. Samples without
+// a stack are ignored, mirroring FoldStacks.
+func (sf *StackFolder) Add(in *folding.Instance) {
+	d := float64(in.Duration())
+	if d <= 0 {
+		return
+	}
+	for _, s := range in.Samples {
+		if len(s.Stack) == 0 {
+			continue
+		}
+		x := float64(s.Time-in.Start) / d
+		b := int(x * float64(sf.bins))
+		if b < 0 {
+			b = 0
+		}
+		if b >= sf.bins {
+			b = sf.bins - 1
+		}
+		sf.counts[b][s.Stack[0]]++
+		sf.total++
+	}
+}
+
+// Samples returns how many stack samples have been folded.
+func (sf *StackFolder) Samples() int { return sf.total }
+
+// Snapshot assembles the current folded call-stack view. It can be
+// called at any time; the view sharpens as instances accumulate.
+func (sf *StackFolder) Snapshot() *folding.StackResult {
+	return folding.NewStackResult(sf.counts, sf.total)
+}

@@ -1,0 +1,609 @@
+package pipeline
+
+import (
+	"io"
+	"runtime"
+	"slices"
+	"sync"
+
+	"repro/internal/burst"
+	"repro/internal/cluster"
+	"repro/internal/counters"
+	"repro/internal/folding"
+	"repro/internal/online"
+	"repro/internal/parallel"
+	"repro/internal/profile"
+	"repro/internal/structure"
+	"repro/internal/trace"
+)
+
+// blockChanBuf bounds each inter-stage channel: at most this many blocks
+// are in flight between two stages, which is what gives the pipeline
+// backpressure and a constant working set.
+const blockChanBuf = 4
+
+// Config parameterizes an analysis run. It mirrors the analysis knobs of
+// core.Options (core builds one from its Options) so the batch and
+// streaming entry points are driven by a single configuration.
+type Config struct {
+	// MinBurstDuration filters bursts shorter than this (0 keeps all).
+	MinBurstDuration trace.Time
+	// Cluster configures burst clustering (exact mode) and classifier
+	// training (online mode).
+	Cluster cluster.Config
+	// Fold configures folding; Fold.Counter is ignored (Counters below
+	// selects what is folded).
+	Fold folding.Config
+	// Counters lists the counters folded per phase in online mode
+	// (default TOT_INS, FP_OPS, L1_DCM, L2_DCM). Exact mode retains
+	// attached samples, so core folds any counter set afterwards.
+	Counters []counters.Counter
+	// StackBins sets the call-stack folding resolution (default 50).
+	StackBins int
+	// MaxPhases bounds how many clusters get per-phase folding in online
+	// mode (default 5).
+	MaxPhases int
+	// Parallelism bounds fan-out (clustering kernels, snapshot assembly);
+	// 0 selects runtime.GOMAXPROCS(0).
+	Parallelism int
+	// NoSamples skips sample attachment and folding entirely — for tools
+	// that only need bursts, clustering and structure (cmd/burstcluster,
+	// cmd/trstats).
+	NoSamples bool
+	// Online selects the bounded-memory path: train a centroid
+	// classifier on the first TrainBursts kept bursts, classify the rest
+	// as they arrive, and fold samples incrementally per phase
+	// (online.Folder / online.StackFolder), never retaining them. Memory
+	// then scales with bursts + bins instead of total records, at the
+	// cost of approximate (though typically >95%-agreeing) assignments.
+	// The default exact mode buffers kept bursts and their samples and
+	// defers clustering to the end of the event section, reproducing
+	// batch output bit-for-bit.
+	Online bool
+	// TrainBursts is the online training-prefix length (default 512).
+	TrainBursts int
+	// BatchSize is the number of records per pipeline block (default 256).
+	BatchSize int
+}
+
+func (c *Config) setDefaults() {
+	if len(c.Counters) == 0 {
+		c.Counters = []counters.Counter{
+			counters.TotIns, counters.FPOps, counters.L1DCM, counters.L2DCM,
+		}
+	}
+	if c.StackBins == 0 {
+		c.StackBins = 50
+	}
+	if c.MaxPhases == 0 {
+		c.MaxPhases = 5
+	}
+	if c.Parallelism <= 0 {
+		c.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if c.Cluster.Parallelism == 0 {
+		c.Cluster.Parallelism = c.Parallelism
+	}
+	if c.TrainBursts <= 0 {
+		c.TrainBursts = 512
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+}
+
+// RecordCounts tallies the records an analysis consumed, by kind.
+type RecordCounts struct {
+	Events, Samples, Comms int64
+}
+
+// PhaseFolds is one phase's incrementally-folded analysis (online mode).
+type PhaseFolds struct {
+	// ClusterID is the phase's cluster id from the training clustering.
+	ClusterID int
+	// Instances counts the burst instances routed into the folders.
+	Instances int
+	// Folds holds each counter's folded reconstruction; counters that
+	// could not be folded are in FoldErrors instead.
+	Folds      map[counters.Counter]*folding.Result
+	FoldErrors map[counters.Counter]error
+	// Stacks is the folded call-stack view (nil when no stack samples).
+	Stacks *folding.StackResult
+}
+
+// Outcome is everything the pipeline learned from one pass over the
+// record stream; core assembles a Report from it.
+type Outcome struct {
+	// Meta is the stream's metadata.
+	Meta trace.Metadata
+	// Records counts the records consumed, by kind.
+	Records RecordCounts
+	// Bursts is the number of bursts extracted; Kept those surviving the
+	// duration filter, in global (Start, Rank) order with Cluster set.
+	Bursts int
+	Kept   []burst.Burst
+	// CoverageKept is the fraction of burst time the filter kept.
+	CoverageKept float64
+	// Clustering is the clustering over the kept bursts. In online mode
+	// Assign reflects the streamed classifications while K, Eps, MinPts
+	// and Silhouette come from the training clustering (Features is nil —
+	// no full feature matrix ever exists).
+	Clustering cluster.Result
+	// ClusterTimeCoverage is the fraction of kept burst time inside
+	// non-noise clusters.
+	ClusterTimeCoverage float64
+	// Loops and SPMDScore describe the phase-sequence structure.
+	Loops     []structure.Loop
+	SPMDScore float64
+	// Profile is the flat MPI/compute profile; ProfileErr records why it
+	// is nil when profiling failed.
+	Profile    *profile.Profile
+	ProfileErr string
+	// Iterations summarizes EvIteration markers.
+	Iterations structure.IterationStats
+	// Attached holds, per kept burst, its samples (exact mode only).
+	Attached [][]trace.Sample
+	// OnlinePhases holds the per-phase incremental folds (online mode
+	// only), ordered by cluster id.
+	OnlinePhases []PhaseFolds
+	// TrainErr records a failed online classifier training (the run then
+	// degrades to zero phases, mirroring a batch run that finds no
+	// clusters).
+	TrainErr string
+	// Online records which mode produced this outcome.
+	Online bool
+	// Stages carries the per-stage metrics of the run.
+	Stages []Metrics
+}
+
+// block is the unit of flow between stages: a pooled batch of decoded
+// records plus the kept bursts extraction closed while scanning them.
+// Ownership travels with the block; the final stage recycles it, so
+// steady-state decoding allocates nothing.
+type block struct {
+	recs    []trace.Record
+	bursts  []burst.Burst
+	samples bool // block contains at least one sample record
+}
+
+// analysis is the shared state of one Run. Each field is written by
+// exactly one stage; cross-stage visibility is ordered by the channel
+// sends between them.
+type analysis struct {
+	cfg  Config
+	meta *trace.Metadata
+	pool sync.Pool
+
+	// extract stage
+	records  RecordCounts
+	bursts   int
+	keptTime trace.Time
+	allTime  trace.Time
+	prof     *profile.Builder
+	marks    map[int32][]trace.Time
+
+	// phase stage
+	kept       []burst.Burst
+	clustering cluster.Result
+	classifier *online.Classifier
+	trainErr   error
+	finalized  bool
+
+	// fold stage routing, built by finalize
+	byRank   [][]int // per rank: indices into kept, ascending Start
+	cursor   []int
+	attached [][]trace.Sample
+
+	// online incremental folding
+	phases   map[int]*phaseFold
+	phaseIDs []int
+	rankBuf  []instanceBuf
+}
+
+// phaseFold bundles one phase's incremental folders.
+type phaseFold struct {
+	id        int
+	folders   []*online.Folder // parallel to cfg.Counters
+	stacks    *online.StackFolder
+	instances int
+}
+
+// instanceBuf accumulates the open instance's samples on one rank. The
+// slices are reused across instances; sample stacks are compressed to
+// the innermost frame, stored in leaves and aliased one-element slices.
+type instanceBuf struct {
+	samples []trace.Sample
+	leaves  []uint32
+}
+
+// Run drives the full analysis pipeline over a record stream and blocks
+// until it completes.
+func Run(src trace.Source, cfg Config) (*Outcome, error) {
+	cfg.setDefaults()
+	meta := src.Meta()
+	if err := meta.Validate(); err != nil {
+		return nil, err
+	}
+	a := &analysis{cfg: cfg, meta: meta, marks: map[int32][]trace.Time{}}
+	a.prof, _ = profile.NewBuilder(meta.Ranks) // ranks >= 1 was validated
+
+	p := New()
+	blocks := a.decodeStage(p, src)
+	extracted := a.extractStage(p, blocks)
+	phased := a.phaseStage(p, extracted)
+	a.foldStage(p, phased)
+	if err := p.Wait(); err != nil {
+		return nil, err
+	}
+	return a.outcome(p), nil
+}
+
+func (a *analysis) getBlock() *block {
+	if v := a.pool.Get(); v != nil {
+		blk := v.(*block)
+		blk.recs = blk.recs[:cap(blk.recs)]
+		blk.bursts = blk.bursts[:0]
+		blk.samples = false
+		return blk
+	}
+	return &block{recs: make([]trace.Record, a.cfg.BatchSize)}
+}
+
+// decodeStage pumps the source into pooled record blocks.
+func (a *analysis) decodeStage(p *Pipeline, src trace.Source) <-chan *block {
+	out := make(chan *block, blockChanBuf)
+	p.Go("decode", func(m *Metrics) error {
+		defer close(out)
+		for {
+			blk := a.getBlock()
+			n := 0
+			var err error
+			for n < len(blk.recs) {
+				if err = src.Next(&blk.recs[n]); err != nil {
+					break
+				}
+				n++
+			}
+			blk.recs = blk.recs[:n]
+			m.RecordsOut += int64(n)
+			if n > 0 {
+				if !send(p, out, blk) {
+					return nil
+				}
+			} else {
+				a.pool.Put(blk)
+			}
+			if err == io.EOF {
+				if sr, ok := src.(*trace.StreamReader); ok {
+					m.Bytes = sr.BytesRead()
+				}
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+		}
+	})
+	return out
+}
+
+// send delivers v or aborts when the pipeline is cancelled.
+func send[T any](p *Pipeline, ch chan<- T, v T) bool {
+	select {
+	case ch <- v:
+		return true
+	case <-p.quit:
+		return false
+	}
+}
+
+// extractStage scans each block's events through the incremental burst
+// extractor, the profile builder and the iteration-marker collector, and
+// forwards the block carrying the kept bursts it closed.
+func (a *analysis) extractStage(p *Pipeline, in <-chan *block) <-chan *block {
+	x, _ := burst.NewExtractor(a.meta.Ranks) // ranks >= 1 was validated
+	return Stage(p, "extract", blockChanBuf, in, func(ctx *StageCtx[*block], blk *block) error {
+		ctx.Metrics.RecordsIn += int64(len(blk.recs))
+		for i := range blk.recs {
+			rec := &blk.recs[i]
+			switch rec.Kind {
+			case trace.KindEvent:
+				a.records.Events++
+				e := &rec.Event
+				b, ok, err := x.Add(e)
+				if err != nil {
+					return err
+				}
+				if ok {
+					a.bursts++
+					d := b.Duration()
+					a.allTime += d
+					if d >= a.cfg.MinBurstDuration {
+						a.keptTime += d
+						blk.bursts = append(blk.bursts, b)
+					}
+				}
+				a.prof.Add(e)
+				if e.Type == trace.EvIteration {
+					a.marks[e.Rank] = append(a.marks[e.Rank], e.Time)
+				}
+			case trace.KindSample:
+				a.records.Samples++
+				blk.samples = true
+			case trace.KindComm:
+				a.records.Comms++
+			}
+		}
+		ctx.Metrics.RecordsOut += int64(len(blk.bursts))
+		ctx.Emit(blk)
+		return nil
+	}, nil)
+}
+
+// phaseStage collects kept bursts and resolves their phases. In exact
+// mode it is a barrier at the event→sample boundary: all bursts are
+// known there (sections are ordered), so it sorts and clusters them
+// before the first sample flows on. In online mode it trains the
+// classifier on the first TrainBursts bursts mid-stream and classifies
+// the rest as they arrive.
+func (a *analysis) phaseStage(p *Pipeline, in <-chan *block) <-chan *block {
+	name := "cluster"
+	if a.cfg.Online {
+		name = "classify"
+	}
+	return Stage(p, name, blockChanBuf, in, func(ctx *StageCtx[*block], blk *block) error {
+		ctx.Metrics.RecordsIn += int64(len(blk.bursts))
+		for i := range blk.bursts {
+			if a.cfg.Online && a.classifier != nil {
+				a.classifier.Classify(&blk.bursts[i])
+			}
+			a.kept = append(a.kept, blk.bursts[i])
+			if a.cfg.Online && a.classifier == nil && a.trainErr == nil &&
+				len(a.kept) == a.cfg.TrainBursts {
+				a.train()
+			}
+		}
+		if blk.samples && !a.finalized {
+			a.finalize(ctx.Metrics)
+		}
+		ctx.Emit(blk)
+		return nil
+	}, func(ctx *StageCtx[*block]) error {
+		if !a.finalized {
+			a.finalize(ctx.Metrics)
+		}
+		return nil
+	})
+}
+
+// train fits the online classifier on the current training prefix and
+// classifies any bursts already collected beyond it. A failed training
+// (no clusters, all noise) degrades the run to zero phases, mirroring a
+// batch run whose clustering finds nothing.
+func (a *analysis) train() {
+	n := min(a.cfg.TrainBursts, len(a.kept))
+	cl, err := online.Train(a.kept[:n], a.cfg.Cluster)
+	if err != nil {
+		a.trainErr = err
+		return
+	}
+	a.classifier = cl
+	for i := n; i < len(a.kept); i++ {
+		cl.Classify(&a.kept[i])
+	}
+}
+
+// finalize runs once all bursts are known: sort them into canonical
+// order, resolve the clustering, and build the per-rank routing index
+// the fold stage walks.
+func (a *analysis) finalize(m *Metrics) {
+	a.finalized = true
+	if a.cfg.Online && a.classifier == nil && len(a.kept) > 0 {
+		a.train()
+	}
+	burst.Sort(a.kept)
+	if !a.cfg.Online {
+		if len(a.kept) > 0 {
+			a.clustering = cluster.ClusterBursts(a.kept, a.cfg.Cluster)
+		}
+	} else if a.classifier != nil {
+		assign := make([]int, len(a.kept))
+		for i := range a.kept {
+			assign[i] = a.kept[i].Cluster
+		}
+		t := &a.classifier.Training
+		a.clustering = cluster.Result{
+			Assign: assign, K: t.K, Eps: t.Eps, MinPts: t.MinPts,
+			Silhouette: t.Silhouette,
+		}
+	}
+	for i := range a.kept {
+		if a.kept[i].Cluster != cluster.Noise {
+			m.RecordsOut++
+		}
+	}
+
+	a.byRank = make([][]int, a.meta.Ranks)
+	for i := range a.kept {
+		r := a.kept[i].Rank
+		a.byRank[r] = append(a.byRank[r], i)
+	}
+	a.cursor = make([]int, a.meta.Ranks)
+	if a.cfg.Online {
+		a.phases = map[int]*phaseFold{}
+		for id := 1; id <= min(a.clustering.K, a.cfg.MaxPhases); id++ {
+			pf := &phaseFold{id: id, stacks: online.NewStackFolder(a.cfg.StackBins)}
+			for _, c := range a.cfg.Counters {
+				pf.folders = append(pf.folders, online.NewFolderConfig(c, a.cfg.Fold))
+			}
+			a.phases[id] = pf
+			a.phaseIDs = append(a.phaseIDs, id)
+		}
+		a.rankBuf = make([]instanceBuf, a.meta.Ranks)
+	} else if !a.cfg.NoSamples {
+		a.attached = make([][]trace.Sample, len(a.kept))
+	}
+}
+
+// foldStage is the terminal stage: it routes each sample to its burst —
+// attaching a copy in exact mode, folding it incrementally in online
+// mode — and recycles the block.
+func (a *analysis) foldStage(p *Pipeline, in <-chan *block) {
+	name := "attach"
+	if a.cfg.Online {
+		name = "fold"
+	}
+	Sink(p, name, in, func(m *Metrics, blk *block) error {
+		if !a.cfg.NoSamples {
+			for i := range blk.recs {
+				if blk.recs[i].Kind == trace.KindSample {
+					a.routeSample(m, &blk.recs[i].Sample)
+				}
+			}
+		}
+		a.pool.Put(blk)
+		return nil
+	}, func(m *Metrics) error {
+		if a.cfg.Online && !a.cfg.NoSamples {
+			a.flushInstances(m)
+		}
+		return nil
+	})
+}
+
+// routeSample advances the per-rank cursor to the burst containing the
+// sample (bursts per rank are time-ordered and samples arrive in time
+// order, so the walk never rewinds — the streaming equivalent of
+// burst.AttachSamples) and attaches or folds it.
+func (a *analysis) routeSample(m *Metrics, s *trace.Sample) {
+	m.RecordsIn++
+	r := int(s.Rank)
+	if r < 0 || r >= len(a.byRank) {
+		return
+	}
+	idx := a.byRank[r]
+	cur := a.cursor[r]
+	if a.cfg.Online {
+		for cur < len(idx) && a.kept[idx[cur]].End <= s.Time {
+			a.closeInstance(m, r, idx[cur])
+			cur++
+		}
+		a.cursor[r] = cur
+		if cur < len(idx) && s.Time >= a.kept[idx[cur]].Start {
+			buf := &a.rankBuf[r]
+			cp := *s
+			cp.Stack = nil
+			if len(s.Stack) > 0 {
+				j := len(buf.leaves)
+				buf.leaves = append(buf.leaves, s.Stack[0])
+				cp.Stack = buf.leaves[j : j+1 : j+1]
+			}
+			buf.samples = append(buf.samples, cp)
+		}
+		return
+	}
+	for cur < len(idx) && a.kept[idx[cur]].End <= s.Time {
+		cur++
+	}
+	a.cursor[r] = cur
+	if cur < len(idx) && s.Time >= a.kept[idx[cur]].Start {
+		cp := *s
+		cp.Stack = slices.Clone(s.Stack)
+		ki := idx[cur]
+		a.attached[ki] = append(a.attached[ki], cp)
+		m.RecordsOut++
+	}
+}
+
+// closeInstance folds the finished burst instance on rank r — with
+// whatever samples accumulated for it — into its phase's folders, then
+// resets the rank's accumulation buffer for the next instance.
+func (a *analysis) closeInstance(m *Metrics, r, ki int) {
+	b := &a.kept[ki]
+	if pf := a.phases[b.Cluster]; pf != nil {
+		inst := folding.Instance{
+			Rank: b.Rank, Start: b.Start, End: b.End,
+			Base: b.Base, Totals: b.Delta,
+			Samples: a.rankBuf[r].samples,
+		}
+		for _, f := range pf.folders {
+			f.Add(&inst)
+		}
+		pf.stacks.Add(&inst)
+		pf.instances++
+		m.RecordsOut++
+	}
+	a.rankBuf[r].samples = a.rankBuf[r].samples[:0]
+	a.rankBuf[r].leaves = a.rankBuf[r].leaves[:0]
+}
+
+// flushInstances closes every burst the sample cursor never passed
+// (trailing bursts, sample-less ranks) so each kept burst contributes an
+// instance exactly once, as offline folding does.
+func (a *analysis) flushInstances(m *Metrics) {
+	for r := range a.byRank {
+		for ; a.cursor[r] < len(a.byRank[r]); a.cursor[r]++ {
+			a.closeInstance(m, r, a.byRank[r][a.cursor[r]])
+		}
+	}
+}
+
+// outcome assembles the final Outcome after all stages returned.
+func (a *analysis) outcome(p *Pipeline) *Outcome {
+	out := &Outcome{
+		Meta:       *a.meta,
+		Records:    a.records,
+		Bursts:     a.bursts,
+		Kept:       a.kept,
+		Clustering: a.clustering,
+		Attached:   a.attached,
+		Online:     a.cfg.Online,
+		Iterations: structure.IterationsFromMarks(a.marks),
+	}
+	if prof, err := a.prof.Finish(a.meta.Duration); err == nil {
+		out.Profile = prof
+	} else {
+		out.ProfileErr = err.Error()
+	}
+	if a.trainErr != nil {
+		out.TrainErr = a.trainErr.Error()
+	}
+	if a.allTime > 0 {
+		out.CoverageKept = float64(a.keptTime) / float64(a.allTime)
+	}
+	if len(a.kept) > 0 {
+		if len(a.clustering.Assign) == len(a.kept) {
+			out.ClusterTimeCoverage = cluster.ClusterTimeCoverage(a.kept, a.clustering.Assign)
+		}
+		seqs := structure.Sequences(a.kept)
+		out.Loops = structure.DetectLoops(seqs)
+		out.SPMDScore = structure.SPMDScore(seqs)
+	}
+	if a.cfg.Online && len(a.phaseIDs) > 0 {
+		out.OnlinePhases = make([]PhaseFolds, len(a.phaseIDs))
+		// Snapshot assembly (isotonic + PCHIP fits per counter) is the only
+		// post-stream work, fanned out per phase.
+		parallel.ForEach(len(a.phaseIDs), a.cfg.Parallelism, func(i int) {
+			pf := a.phases[a.phaseIDs[i]]
+			ph := PhaseFolds{
+				ClusterID:  pf.id,
+				Instances:  pf.instances,
+				Folds:      make(map[counters.Counter]*folding.Result),
+				FoldErrors: make(map[counters.Counter]error),
+			}
+			for ci, c := range a.cfg.Counters {
+				if res, err := pf.folders[ci].Snapshot(); err != nil {
+					ph.FoldErrors[c] = err
+				} else {
+					ph.Folds[c] = res
+				}
+			}
+			if pf.stacks.Samples() > 0 {
+				ph.Stacks = pf.stacks.Snapshot()
+			}
+			out.OnlinePhases[i] = ph
+		})
+	}
+	out.Stages = p.Metrics()
+	return out
+}

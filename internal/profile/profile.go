@@ -71,75 +71,100 @@ func (p *Profile) LoadBalance() float64 {
 	return (sum / float64(n)) / max
 }
 
-// Compute builds the flat profile of a trace. The trace must be valid
-// (MPI enter/exit events alternating per rank).
-func Compute(tr *trace.Trace) (*Profile, error) {
-	if tr.Meta.Ranks < 1 {
+// Builder accumulates the flat profile incrementally, one event at a
+// time, so a streaming consumer can profile a trace it never
+// materializes. Compute is a thin batch wrapper over it.
+type Builder struct {
+	ranks        []RankStats
+	state        []openMPI
+	lastBoundary []trace.Time
+	ops          map[trace.MPIOp]*OpStats
+	err          error
+}
+
+type openMPI struct {
+	op    trace.MPIOp
+	since trace.Time
+	in    bool
+}
+
+// NewBuilder creates a profile builder for the given rank count.
+func NewBuilder(ranks int) (*Builder, error) {
+	if ranks < 1 {
 		return nil, fmt.Errorf("profile: trace has no ranks")
 	}
-	p := &Profile{
-		Duration: tr.Meta.Duration,
-		Ranks:    make([]RankStats, tr.Meta.Ranks),
+	b := &Builder{
+		ranks:        make([]RankStats, ranks),
+		state:        make([]openMPI, ranks),
+		lastBoundary: make([]trace.Time, ranks),
+		ops:          map[trace.MPIOp]*OpStats{},
 	}
-	for r := range p.Ranks {
-		p.Ranks[r].Rank = int32(r)
+	for r := range b.ranks {
+		b.ranks[r].Rank = int32(r)
 	}
-	type open struct {
-		op    trace.MPIOp
-		since trace.Time
-		in    bool
-	}
-	state := make([]open, tr.Meta.Ranks)
-	lastBoundary := make([]trace.Time, tr.Meta.Ranks)
-	ops := map[trace.MPIOp]*OpStats{}
+	return b, nil
+}
 
-	for _, e := range tr.Events {
-		if e.Type != trace.EvMPI {
-			continue
-		}
-		if int(e.Rank) >= len(state) {
-			return nil, fmt.Errorf("profile: event rank %d out of range", e.Rank)
-		}
-		st := &state[e.Rank]
-		rs := &p.Ranks[e.Rank]
-		if e.Value != 0 {
-			if st.in {
-				return nil, fmt.Errorf("profile: rank %d enters MPI at %d while inside", e.Rank, e.Time)
-			}
-			rs.ComputeTime += e.Time - lastBoundary[e.Rank]
-			st.op = trace.MPIOp(e.Value)
-			st.since = e.Time
-			st.in = true
-		} else {
-			if !st.in {
-				return nil, fmt.Errorf("profile: rank %d exits MPI at %d while outside", e.Rank, e.Time)
-			}
-			d := e.Time - st.since
-			rs.MPITime += d
-			rs.MPICalls++
-			o := ops[st.op]
-			if o == nil {
-				o = &OpStats{Op: st.op}
-				ops[st.op] = o
-			}
-			o.Calls++
-			o.Time += d
-			lastBoundary[e.Rank] = e.Time
-			st.in = false
-		}
+// Add feeds one event (events must arrive in trace order). The first
+// invariant violation is latched and later reported by Finish; further
+// events are ignored after it.
+func (b *Builder) Add(e *trace.Event) {
+	if b.err != nil || e.Type != trace.EvMPI {
+		return
 	}
-	// Trailing compute up to the trace end.
-	for r := range state {
-		if state[r].in {
+	if e.Rank < 0 || int(e.Rank) >= len(b.state) {
+		b.err = fmt.Errorf("profile: event rank %d out of range", e.Rank)
+		return
+	}
+	st := &b.state[e.Rank]
+	rs := &b.ranks[e.Rank]
+	if e.Value != 0 {
+		if st.in {
+			b.err = fmt.Errorf("profile: rank %d enters MPI at %d while inside", e.Rank, e.Time)
+			return
+		}
+		rs.ComputeTime += e.Time - b.lastBoundary[e.Rank]
+		st.op = trace.MPIOp(e.Value)
+		st.since = e.Time
+		st.in = true
+	} else {
+		if !st.in {
+			b.err = fmt.Errorf("profile: rank %d exits MPI at %d while outside", e.Rank, e.Time)
+			return
+		}
+		d := e.Time - st.since
+		rs.MPITime += d
+		rs.MPICalls++
+		o := b.ops[st.op]
+		if o == nil {
+			o = &OpStats{Op: st.op}
+			b.ops[st.op] = o
+		}
+		o.Calls++
+		o.Time += d
+		b.lastBoundary[e.Rank] = e.Time
+		st.in = false
+	}
+}
+
+// Finish closes the profile at the trace end time, accounting trailing
+// compute, and returns the assembled profile or the first error seen.
+func (b *Builder) Finish(duration trace.Time) (*Profile, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	p := &Profile{Duration: duration, Ranks: b.ranks}
+	for r := range b.state {
+		if b.state[r].in {
 			return nil, fmt.Errorf("profile: rank %d trace ends inside MPI", r)
 		}
-		p.Ranks[r].ComputeTime += tr.Meta.Duration - lastBoundary[r]
+		p.Ranks[r].ComputeTime += duration - b.lastBoundary[r]
 	}
 	for _, rs := range p.Ranks {
 		p.TotalCompute += rs.ComputeTime
 		p.TotalMPI += rs.MPITime
 	}
-	for _, o := range ops {
+	for _, o := range b.ops {
 		p.Ops = append(p.Ops, *o)
 	}
 	sort.Slice(p.Ops, func(i, j int) bool {
@@ -149,6 +174,19 @@ func Compute(tr *trace.Trace) (*Profile, error) {
 		return p.Ops[i].Op < p.Ops[j].Op
 	})
 	return p, nil
+}
+
+// Compute builds the flat profile of a trace. The trace must be valid
+// (MPI enter/exit events alternating per rank).
+func Compute(tr *trace.Trace) (*Profile, error) {
+	b, err := NewBuilder(tr.Meta.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	for i := range tr.Events {
+		b.Add(&tr.Events[i])
+	}
+	return b.Finish(tr.Meta.Duration)
 }
 
 // Format renders the profile as a human-readable summary.

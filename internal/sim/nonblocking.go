@@ -11,8 +11,8 @@ import (
 type Request struct {
 	owner  *Rank
 	isSend bool
-	msg    *message   // send requests: the posted message
-	src    int32      // recv requests: matching parameters
+	msg    *message // send requests: the posted message
+	src    int32    // recv requests: matching parameters
 	tag    int32
 	posted trace.Time // recv requests: when the buffer was posted
 	done   bool

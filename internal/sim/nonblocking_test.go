@@ -100,9 +100,9 @@ func TestOverlapBeatsBlocking(t *testing.T) {
 
 func TestWaitallMisuse(t *testing.T) {
 	cases := map[string]func(r *Rank, peer int){
-		"nil request":    func(r *Rank, peer int) { r.Waitall(nil) },
-		"double wait":    func(r *Rank, peer int) { req := r.Irecv(peer, 1); r.Waitall(req); r.Waitall(req) },
-		"foreign owner":  nil, // covered separately below
+		"nil request":   func(r *Rank, peer int) { r.Waitall(nil) },
+		"double wait":   func(r *Rank, peer int) { req := r.Irecv(peer, 1); r.Waitall(req); r.Waitall(req) },
+		"foreign owner": nil, // covered separately below
 	}
 	delete(cases, "foreign owner")
 	for name, f := range cases {

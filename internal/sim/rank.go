@@ -24,10 +24,10 @@ type Rank struct {
 	rng     *rand.Rand
 	tickRng *rand.Rand
 	now     trace.Time
-	ctr   counters.Values // absolute counters at `now` (TotCyc derived from time)
-	seq   int             // collective sequence number
-	tick  trace.Time      // next sampler tick (absolute)
-	depth []uint32        // explicit user-region stack (region ids)
+	ctr     counters.Values // absolute counters at `now` (TotCyc derived from time)
+	seq     int             // collective sequence number
+	tick    trace.Time      // next sampler tick (absolute)
+	depth   []uint32        // explicit user-region stack (region ids)
 
 	mainRegion uint32
 

@@ -16,8 +16,8 @@ func TestComputeDensityKnownSignal(t *testing.T) {
 	b.Event(0, 1000, trace.EvIteration, 1) // pins duration to 1000
 	tr := b.Build()
 	bursts := []burst.Burst{
-		{Rank: 0, Start: 0, End: 500},    // rank 0 computes the first half
-		{Rank: 1, Start: 250, End: 750},  // rank 1 the middle half
+		{Rank: 0, Start: 0, End: 500},   // rank 0 computes the first half
+		{Rank: 1, Start: 250, End: 750}, // rank 1 the middle half
 	}
 	sig, err := ComputeDensity(tr, bursts, 4)
 	if err != nil {

@@ -219,13 +219,27 @@ func Iterations(tr *trace.Trace) IterationStats {
 			marks[e.Rank] = append(marks[e.Rank], e.Time)
 		}
 	}
+	return IterationsFromMarks(marks)
+}
+
+// IterationsFromMarks computes iteration statistics from per-rank
+// EvIteration timestamps, the form a streaming consumer accumulates.
+// Ranks are visited in sorted order so the floating-point duration
+// statistics are deterministic regardless of map insertion history.
+func IterationsFromMarks(marks map[int32][]trace.Time) IterationStats {
 	st := IterationStats{RanksAgree: true}
 	if len(marks) == 0 {
 		return st
 	}
+	ranks := make([]int32, 0, len(marks))
+	for r := range marks {
+		ranks = append(ranks, r)
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
 	var durs []float64
 	count := -1
-	for _, ts := range marks {
+	for _, r := range ranks {
+		ts := marks[r]
 		if count == -1 {
 			count = len(ts)
 		} else if len(ts) != count {

@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// FuzzReadFrom fuzzes the binary trace decoder. Two properties must hold
+// for arbitrary input: decoding never panics or over-allocates (the
+// section-count validation caps allocations by the input size), and any
+// input that decodes successfully re-encodes and re-decodes to the same
+// trace — the decoder accepts nothing the encoder cannot reproduce.
+//
+// The seed corpus is built from the same Builder the example generators
+// use: a fully featured small trace (all three record kinds, counters,
+// stacks), an empty trace, and a corrupt-count header.
+func FuzzReadFrom(f *testing.F) {
+	seed := func(tr *Trace) {
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+
+	// Fully featured trace (events with and without counters, samples
+	// with and without stacks, comms) — mirrors the example apps' shape.
+	b := NewBuilder("fuzz", 2)
+	b.SetSamplePeriod(1000)
+	rA := b.Region("solve")
+	rB := b.Region("main")
+	b.Event(0, 0, EvIteration, 1)
+	b.EventC(0, 10, EvMPI, int64(MPIBarrier), []int64{50, 100, 2, 1, 10})
+	b.Event(1, 12, EvMPI, int64(MPIBarrier))
+	b.EventC(0, 20, EvMPI, 0, []int64{50, 120, 2, 1, 10})
+	b.Event(1, 25, EvMPI, 0)
+	b.Sample(0, 500, []int64{100, 200, 5, 1, 50}, []uint32{rA, rB})
+	b.Sample(1, 700, []int64{90, 180, 3, 1, 40}, nil)
+	b.Comm(0, 1, 800, 850, 4096, 7)
+	seed(b.Build())
+
+	seed(NewBuilder("empty", 1).Build())
+
+	// A corrupt header claiming far more events than the input holds.
+	var corrupt bytes.Buffer
+	if err := NewBuilder("c", 1).Build().Write(&corrupt); err != nil {
+		f.Fatal(err)
+	}
+	raw := corrupt.Bytes()
+	f.Add(append(raw[:len(raw)-3], 0xff, 0xff, 0xff, 0xff, 0x0f))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := ReadFrom(bytes.NewReader(data))
+		if err != nil {
+			return // malformed input rejected cleanly
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatalf("decoded trace failed to re-encode: %v", err)
+		}
+		tr2, err := ReadFrom(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded trace failed to decode: %v", err)
+		}
+		if !reflect.DeepEqual(tr.Meta, tr2.Meta) ||
+			!reflect.DeepEqual(tr.Events, tr2.Events) ||
+			!reflect.DeepEqual(tr.Samples, tr2.Samples) ||
+			!reflect.DeepEqual(tr.Comms, tr2.Comms) {
+			t.Fatal("decode → encode → decode is not a fixed point")
+		}
+	})
+}

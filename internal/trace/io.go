@@ -1,15 +1,9 @@
 package trace
 
 import (
-	"bufio"
-	"encoding/binary"
-	"encoding/json"
 	"errors"
-	"fmt"
 	"io"
 	"os"
-
-	"repro/internal/counters"
 )
 
 // Binary trace format ("UVT1"):
@@ -24,6 +18,10 @@ import (
 // Integers use varint/uvarint encoding; timestamps within each section are
 // delta-encoded against the previous record in the section (records are
 // stored in canonical sorted order, so deltas are non-negative and small).
+//
+// The encoder and decoder proper live in stream.go (StreamWriter /
+// StreamReader, record-at-a-time); this file keeps the whole-trace
+// convenience wrappers over them.
 
 var magic = [4]byte{'U', 'V', 'T', '1'}
 
@@ -33,267 +31,92 @@ var ErrBadFormat = errors.New("trace: malformed trace data")
 // Write encodes the trace to w in the binary format. The trace must be
 // sorted (Build and ReadFrom both guarantee this).
 func (tr *Trace) Write(w io.Writer) error {
-	bw := bufio.NewWriterSize(w, 1<<20)
-	if _, err := bw.Write(magic[:]); err != nil {
-		return err
-	}
-	meta, err := json.Marshal(&tr.Meta)
+	sw, err := NewStreamWriter(w, &tr.Meta)
 	if err != nil {
-		return fmt.Errorf("trace: encoding metadata: %w", err)
-	}
-	buf := make([]byte, 0, 64)
-	buf = binary.AppendUvarint(buf, uint64(len(meta)))
-	if _, err := bw.Write(buf); err != nil {
 		return err
 	}
-	if _, err := bw.Write(meta); err != nil {
+	if err := sw.Begin(KindEvent, len(tr.Events)); err != nil {
 		return err
 	}
-
-	// Events.
-	buf = binary.AppendUvarint(buf[:0], uint64(len(tr.Events)))
-	var prev Time
-	for _, e := range tr.Events {
-		buf = binary.AppendUvarint(buf, uint64(e.Time-prev))
-		prev = e.Time
-		buf = binary.AppendUvarint(buf, uint64(e.Rank))
-		buf = append(buf, byte(e.Type))
-		buf = binary.AppendVarint(buf, e.Value)
-		if e.HasCounters {
-			buf = append(buf, 1)
-			for _, v := range e.Counters {
-				buf = binary.AppendVarint(buf, v)
-			}
-		} else {
-			buf = append(buf, 0)
-		}
-		if len(buf) >= 1<<16 {
-			if _, err := bw.Write(buf); err != nil {
-				return err
-			}
-			buf = buf[:0]
+	for i := range tr.Events {
+		if err := sw.WriteEvent(&tr.Events[i]); err != nil {
+			return err
 		}
 	}
-	if _, err := bw.Write(buf); err != nil {
+	if err := sw.Begin(KindSample, len(tr.Samples)); err != nil {
 		return err
 	}
-
-	// Samples.
-	buf = binary.AppendUvarint(buf[:0], uint64(len(tr.Samples)))
-	prev = 0
-	for _, s := range tr.Samples {
-		buf = binary.AppendUvarint(buf, uint64(s.Time-prev))
-		prev = s.Time
-		buf = binary.AppendUvarint(buf, uint64(s.Rank))
-		for _, v := range s.Counters {
-			buf = binary.AppendVarint(buf, v)
-		}
-		buf = binary.AppendUvarint(buf, uint64(len(s.Stack)))
-		for _, f := range s.Stack {
-			buf = binary.AppendUvarint(buf, uint64(f))
-		}
-		if len(buf) >= 1<<16 {
-			if _, err := bw.Write(buf); err != nil {
-				return err
-			}
-			buf = buf[:0]
+	for i := range tr.Samples {
+		if err := sw.WriteSample(&tr.Samples[i]); err != nil {
+			return err
 		}
 	}
-	if _, err := bw.Write(buf); err != nil {
+	if err := sw.Begin(KindComm, len(tr.Comms)); err != nil {
 		return err
 	}
-
-	// Comms.
-	buf = binary.AppendUvarint(buf[:0], uint64(len(tr.Comms)))
-	prev = 0
-	for _, c := range tr.Comms {
-		buf = binary.AppendUvarint(buf, uint64(c.SendTime-prev))
-		prev = c.SendTime
-		buf = binary.AppendVarint(buf, int64(c.RecvTime-c.SendTime))
-		buf = binary.AppendUvarint(buf, uint64(c.Src))
-		buf = binary.AppendUvarint(buf, uint64(c.Dst))
-		buf = binary.AppendVarint(buf, c.Size)
-		buf = binary.AppendVarint(buf, int64(c.Tag))
-		if len(buf) >= 1<<16 {
-			if _, err := bw.Write(buf); err != nil {
-				return err
-			}
-			buf = buf[:0]
+	for i := range tr.Comms {
+		if err := sw.WriteComm(&tr.Comms[i]); err != nil {
+			return err
 		}
 	}
-	if _, err := bw.Write(buf); err != nil {
-		return err
-	}
-	return bw.Flush()
+	return sw.Close()
 }
 
-// ReadFrom decodes a trace from r.
+// ReadFrom decodes a trace from r. When r's total size is discoverable
+// (in-memory readers, regular files) declared record counts are checked
+// against it before slices are sized, so corrupt headers cannot trigger
+// huge allocations.
 func ReadFrom(r io.Reader) (*Trace, error) {
-	br := bufio.NewReaderSize(r, 1<<20)
-	var m [4]byte
-	if _, err := io.ReadFull(br, m[:]); err != nil {
-		return nil, fmt.Errorf("%w: reading magic: %v", ErrBadFormat, err)
-	}
-	if m != magic {
-		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, m)
-	}
-	metaLen, err := binary.ReadUvarint(br)
+	sr, err := NewStreamReader(r)
 	if err != nil {
-		return nil, fmt.Errorf("%w: metadata length: %v", ErrBadFormat, err)
+		return nil, err
 	}
-	if metaLen > 1<<30 {
-		return nil, fmt.Errorf("%w: metadata length %d too large", ErrBadFormat, metaLen)
-	}
-	metaBuf := make([]byte, metaLen)
-	if _, err := io.ReadFull(br, metaBuf); err != nil {
-		return nil, fmt.Errorf("%w: metadata body: %v", ErrBadFormat, err)
-	}
-	tr := &Trace{}
-	if err := json.Unmarshal(metaBuf, &tr.Meta); err != nil {
-		return nil, fmt.Errorf("%w: metadata JSON: %v", ErrBadFormat, err)
-	}
+	return readAll(sr)
+}
 
-	// Events.
-	n, err := binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("%w: event count: %v", ErrBadFormat, err)
-	}
-	if n > 1<<34 {
-		return nil, fmt.Errorf("%w: event count %d too large", ErrBadFormat, n)
-	}
-	tr.Events = make([]Event, 0, min64(n, 1<<20))
-	var prev Time
-	for i := uint64(0); i < n; i++ {
-		dt, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("%w: event %d time: %v", ErrBadFormat, i, err)
+// readAll drains a StreamReader into an in-memory Trace.
+func readAll(sr *StreamReader) (*Trace, error) {
+	tr := &Trace{Meta: *sr.Meta()}
+	var rec Record
+	for {
+		err := sr.Next(&rec)
+		if err == io.EOF {
+			break
 		}
-		rank, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, fmt.Errorf("%w: event %d rank: %v", ErrBadFormat, i, err)
+			return nil, err
 		}
-		typ, err := br.ReadByte()
-		if err != nil {
-			return nil, fmt.Errorf("%w: event %d type: %v", ErrBadFormat, i, err)
-		}
-		val, err := binary.ReadVarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("%w: event %d value: %v", ErrBadFormat, i, err)
-		}
-		flag, err := br.ReadByte()
-		if err != nil {
-			return nil, fmt.Errorf("%w: event %d counter flag: %v", ErrBadFormat, i, err)
-		}
-		prev += Time(dt)
-		e := Event{Rank: int32(rank), Time: prev, Type: EventType(typ), Value: val}
-		switch flag {
-		case 0:
-		case 1:
-			e.HasCounters = true
-			for c := 0; c < int(counters.NumCounters); c++ {
-				v, err := binary.ReadVarint(br)
-				if err != nil {
-					return nil, fmt.Errorf("%w: event %d counter %d: %v", ErrBadFormat, i, c, err)
-				}
-				e.Counters[c] = v
+		switch rec.Kind {
+		case KindEvent:
+			if tr.Events == nil {
+				tr.Events = make([]Event, 0, sr.PreallocHint(KindEvent))
 			}
-		default:
-			return nil, fmt.Errorf("%w: event %d has invalid counter flag %d", ErrBadFormat, i, flag)
-		}
-		tr.Events = append(tr.Events, e)
-	}
-
-	// Samples.
-	n, err = binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("%w: sample count: %v", ErrBadFormat, err)
-	}
-	if n > 1<<34 {
-		return nil, fmt.Errorf("%w: sample count %d too large", ErrBadFormat, n)
-	}
-	tr.Samples = make([]Sample, 0, min64(n, 1<<20))
-	prev = 0
-	for i := uint64(0); i < n; i++ {
-		dt, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("%w: sample %d time: %v", ErrBadFormat, i, err)
-		}
-		rank, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("%w: sample %d rank: %v", ErrBadFormat, i, err)
-		}
-		var s Sample
-		prev += Time(dt)
-		s.Time = prev
-		s.Rank = int32(rank)
-		for c := 0; c < int(counters.NumCounters); c++ {
-			v, err := binary.ReadVarint(br)
-			if err != nil {
-				return nil, fmt.Errorf("%w: sample %d counter %d: %v", ErrBadFormat, i, c, err)
+			tr.Events = append(tr.Events, rec.Event)
+		case KindSample:
+			if tr.Samples == nil {
+				tr.Samples = make([]Sample, 0, sr.PreallocHint(KindSample))
 			}
-			s.Counters[c] = v
-		}
-		depth, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("%w: sample %d stack depth: %v", ErrBadFormat, i, err)
-		}
-		if depth > 1024 {
-			return nil, fmt.Errorf("%w: sample %d stack depth %d too large", ErrBadFormat, i, depth)
-		}
-		if depth > 0 {
-			s.Stack = make([]uint32, depth)
-			for d := range s.Stack {
-				f, err := binary.ReadUvarint(br)
-				if err != nil {
-					return nil, fmt.Errorf("%w: sample %d frame %d: %v", ErrBadFormat, i, d, err)
-				}
-				s.Stack[d] = uint32(f)
+			s := rec.Sample
+			if len(s.Stack) > 0 {
+				// The reader reuses the record's stack buffer; own a copy.
+				s.Stack = append([]uint32(nil), s.Stack...)
 			}
+			tr.Samples = append(tr.Samples, s)
+		case KindComm:
+			if tr.Comms == nil {
+				tr.Comms = make([]Comm, 0, sr.PreallocHint(KindComm))
+			}
+			tr.Comms = append(tr.Comms, rec.Comm)
 		}
-		tr.Samples = append(tr.Samples, s)
 	}
-
-	// Comms.
-	n, err = binary.ReadUvarint(br)
-	if err != nil {
-		return nil, fmt.Errorf("%w: comm count: %v", ErrBadFormat, err)
+	if tr.Events == nil {
+		tr.Events = []Event{}
 	}
-	if n > 1<<34 {
-		return nil, fmt.Errorf("%w: comm count %d too large", ErrBadFormat, n)
+	if tr.Samples == nil {
+		tr.Samples = []Sample{}
 	}
-	tr.Comms = make([]Comm, 0, min64(n, 1<<20))
-	prev = 0
-	for i := uint64(0); i < n; i++ {
-		dt, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("%w: comm %d send time: %v", ErrBadFormat, i, err)
-		}
-		lat, err := binary.ReadVarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("%w: comm %d latency: %v", ErrBadFormat, i, err)
-		}
-		src, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("%w: comm %d src: %v", ErrBadFormat, i, err)
-		}
-		dst, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("%w: comm %d dst: %v", ErrBadFormat, i, err)
-		}
-		size, err := binary.ReadVarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("%w: comm %d size: %v", ErrBadFormat, i, err)
-		}
-		tag, err := binary.ReadVarint(br)
-		if err != nil {
-			return nil, fmt.Errorf("%w: comm %d tag: %v", ErrBadFormat, i, err)
-		}
-		prev += Time(dt)
-		tr.Comms = append(tr.Comms, Comm{
-			Src: int32(src), Dst: int32(dst),
-			SendTime: prev, RecvTime: prev + Time(lat),
-			Size: size, Tag: int32(tag),
-		})
+	if tr.Comms == nil {
+		tr.Comms = []Comm{}
 	}
 	return tr, nil
 }

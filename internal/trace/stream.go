@@ -1,0 +1,654 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/counters"
+)
+
+// Kind identifies which record variant a Record carries. The binary
+// format stores the three record kinds in three sequential sections, so a
+// stream always yields all events (time-sorted), then all samples, then
+// all comms — the canonical order Build and Sort produce.
+type Kind uint8
+
+const (
+	KindEvent Kind = iota
+	KindSample
+	KindComm
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindEvent:
+		return "event"
+	case KindSample:
+		return "sample"
+	case KindComm:
+		return "comm"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Record is one trace record of any kind. Only the variant selected by
+// Kind is meaningful; the other two may hold stale data from a previous
+// use of the same Record value.
+type Record struct {
+	Kind   Kind
+	Event  Event
+	Sample Sample
+	Comm   Comm
+}
+
+// Source yields trace records one at a time in canonical section order
+// (events, then samples, then comms, each time-sorted). It is the
+// record-stream interface the analysis pipeline consumes, implemented by
+// both the in-memory TraceSource and the decoding StreamReader — so batch
+// and streaming analysis share one input contract.
+type Source interface {
+	// Meta returns the stream's metadata, available before any record.
+	Meta() *Metadata
+	// Next fills rec with the next record and returns nil, or returns
+	// io.EOF after the last record (any other error is sticky). The
+	// implementation may reuse rec's storage (e.g. the sample stack
+	// buffer): callers that retain data across calls must copy it.
+	Next(rec *Record) error
+}
+
+// TraceSource adapts an in-memory Trace to the Source interface, letting
+// the batch path run through the same streaming stages as a decoder-fed
+// analysis.
+type TraceSource struct {
+	tr   *Trace
+	kind Kind
+	i    int
+}
+
+// NewTraceSource returns a Source iterating tr's records in section
+// order. The trace must be sorted (Build, Sort and ReadFrom guarantee
+// this). Sample stacks alias the trace's storage.
+func NewTraceSource(tr *Trace) *TraceSource {
+	return &TraceSource{tr: tr}
+}
+
+// Meta returns the trace metadata.
+func (s *TraceSource) Meta() *Metadata { return &s.tr.Meta }
+
+// Next implements Source.
+func (s *TraceSource) Next(rec *Record) error {
+	for {
+		switch s.kind {
+		case KindEvent:
+			if s.i < len(s.tr.Events) {
+				rec.Kind = KindEvent
+				rec.Event = s.tr.Events[s.i]
+				s.i++
+				return nil
+			}
+		case KindSample:
+			if s.i < len(s.tr.Samples) {
+				rec.Kind = KindSample
+				rec.Sample = s.tr.Samples[s.i]
+				s.i++
+				return nil
+			}
+		case KindComm:
+			if s.i < len(s.tr.Comms) {
+				rec.Kind = KindComm
+				rec.Comm = s.tr.Comms[s.i]
+				s.i++
+				return nil
+			}
+		default:
+			return io.EOF
+		}
+		s.kind++
+		s.i = 0
+	}
+}
+
+// maxSectionRecords caps declared record counts when the input size is
+// unknown; with a known size the tighter remaining-bytes bound applies.
+const maxSectionRecords = 1 << 34
+
+// minRecordSize is the smallest possible encoding of one record of each
+// kind, used to validate declared section counts against the remaining
+// input before anything is allocated: event = dt + rank + type + value +
+// flag; sample = dt + rank + counters + depth; comm = six varints.
+var minRecordSize = [numKinds]uint64{
+	KindEvent:  5,
+	KindSample: uint64(counters.NumCounters) + 3,
+	KindComm:   6,
+}
+
+// countingReader counts bytes consumed from the underlying reader so the
+// stream can compare declared section sizes against what remains.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// StreamReader decodes a binary trace record-at-a-time, holding only the
+// metadata and O(1) section state — never the full trace. It implements
+// Source; ReadFrom and ReadFile are thin collect-everything wrappers over
+// it.
+type StreamReader struct {
+	br    *bufio.Reader
+	cr    countingReader
+	limit int64 // total input size in bytes, -1 when unknown
+	meta  Metadata
+
+	kind    Kind   // section being decoded (numKinds when finished)
+	counted bool   // current section's count header has been read
+	left    uint64 // records remaining in the current section
+	idx     uint64 // index of the next record within the section
+	prev    Time   // delta-decoding base for the current section
+	counts  [numKinds]uint64
+	err     error // sticky terminal state (io.EOF or a decode error)
+}
+
+// NewStreamReader opens a streaming decoder over r, reading the header
+// (magic + metadata) immediately. When r's total size is discoverable
+// (bytes.Reader-style Len, or a regular file) it is used to reject
+// malformed section counts before any allocation; use
+// NewStreamReaderSize to supply the size explicitly.
+func NewStreamReader(r io.Reader) (*StreamReader, error) {
+	return NewStreamReaderSize(r, inputSize(r))
+}
+
+// NewStreamReaderSize is NewStreamReader with an explicit total input
+// size in bytes (pass a negative size when unknown). The size is used
+// only to validate declared record counts, never to truncate reads.
+func NewStreamReaderSize(r io.Reader, size int64) (*StreamReader, error) {
+	sr := &StreamReader{cr: countingReader{r: r}, limit: size}
+	if size < 0 {
+		sr.limit = -1
+	}
+	sr.br = bufio.NewReaderSize(&sr.cr, 1<<20)
+
+	var m [4]byte
+	if _, err := io.ReadFull(sr.br, m[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrBadFormat, err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, m)
+	}
+	metaLen, err := binary.ReadUvarint(sr.br)
+	if err != nil {
+		return nil, fmt.Errorf("%w: metadata length: %v", ErrBadFormat, err)
+	}
+	if metaLen > 1<<30 {
+		return nil, fmt.Errorf("%w: metadata length %d too large", ErrBadFormat, metaLen)
+	}
+	if rem := sr.remaining(); rem >= 0 && metaLen > uint64(rem) {
+		return nil, fmt.Errorf("%w: metadata length %d exceeds remaining input (%d bytes)",
+			ErrBadFormat, metaLen, rem)
+	}
+	metaBuf := make([]byte, metaLen)
+	if _, err := io.ReadFull(sr.br, metaBuf); err != nil {
+		return nil, fmt.Errorf("%w: metadata body: %v", ErrBadFormat, err)
+	}
+	if err := json.Unmarshal(metaBuf, &sr.meta); err != nil {
+		return nil, fmt.Errorf("%w: metadata JSON: %v", ErrBadFormat, err)
+	}
+	return sr, nil
+}
+
+// inputSize discovers r's remaining byte count when cheaply possible:
+// in-memory readers report Len, regular files their size minus offset.
+func inputSize(r io.Reader) int64 {
+	switch v := r.(type) {
+	case interface{ Len() int }:
+		return int64(v.Len())
+	case *os.File:
+		if fi, err := v.Stat(); err == nil && fi.Mode().IsRegular() {
+			if pos, err := v.Seek(0, io.SeekCurrent); err == nil && pos <= fi.Size() {
+				return fi.Size() - pos
+			}
+		}
+	}
+	return -1
+}
+
+// Meta returns the decoded metadata.
+func (sr *StreamReader) Meta() *Metadata { return &sr.meta }
+
+// BytesRead returns how many input bytes have been consumed so far
+// (excluding readahead still buffered).
+func (sr *StreamReader) BytesRead() int64 {
+	return sr.cr.n - int64(sr.br.Buffered())
+}
+
+// remaining returns how many input bytes are left, or -1 when the total
+// size is unknown.
+func (sr *StreamReader) remaining() int64 {
+	if sr.limit < 0 {
+		return -1
+	}
+	rem := sr.limit - sr.BytesRead()
+	if rem < 0 {
+		rem = 0
+	}
+	return rem
+}
+
+// PreallocHint returns a conservative capacity for collecting the
+// current section: the declared count clamped by a fixed bound and, when
+// the input size is known, by how many records the remaining bytes could
+// possibly encode. It is valid once the section's first record has been
+// returned (0 before that).
+func (sr *StreamReader) PreallocHint(k Kind) int {
+	n := sr.counts[k]
+	if rem := sr.remaining(); rem >= 0 {
+		// remaining() is measured after some records may already have been
+		// consumed, so add the consumed count back conservatively.
+		if byBytes := uint64(rem)/minRecordSize[k] + sr.idx; byBytes < n {
+			n = byBytes
+		}
+	}
+	return min64(n, 1<<20)
+}
+
+func (sr *StreamReader) fail(err error) error {
+	sr.err = err
+	return err
+}
+
+// Next implements Source: it decodes the next record in section order,
+// returning io.EOF after the final comm record. The sample stack buffer
+// in rec is reused across calls — copy it to retain it.
+func (sr *StreamReader) Next(rec *Record) error {
+	if sr.err != nil {
+		return sr.err
+	}
+	for sr.left == 0 {
+		if sr.counted {
+			sr.kind++
+			sr.counted = false
+		}
+		if sr.kind >= numKinds {
+			return sr.fail(io.EOF)
+		}
+		if err := sr.beginSection(); err != nil {
+			return sr.fail(err)
+		}
+	}
+	var err error
+	switch sr.kind {
+	case KindEvent:
+		err = sr.readEvent(rec)
+	case KindSample:
+		err = sr.readSample(rec)
+	default:
+		err = sr.readComm(rec)
+	}
+	if err != nil {
+		return sr.fail(err)
+	}
+	sr.idx++
+	sr.left--
+	return nil
+}
+
+// beginSection reads and validates the current section's record count.
+func (sr *StreamReader) beginSection() error {
+	n, err := binary.ReadUvarint(sr.br)
+	if err != nil {
+		return fmt.Errorf("%w: %s count: %v", ErrBadFormat, sr.kind, err)
+	}
+	if n > maxSectionRecords {
+		return fmt.Errorf("%w: %s count %d too large", ErrBadFormat, sr.kind, n)
+	}
+	// With a known input size, a section cannot declare more records than
+	// the remaining bytes could minimally encode — reject corrupt counts
+	// here, before any caller sizes a slice from them.
+	if rem := sr.remaining(); rem >= 0 && n > uint64(rem)/minRecordSize[sr.kind] {
+		return fmt.Errorf("%w: %s count %d exceeds remaining input (%d bytes)",
+			ErrBadFormat, sr.kind, n, rem)
+	}
+	sr.counts[sr.kind] = n
+	sr.left = n
+	sr.idx = 0
+	sr.prev = 0
+	sr.counted = true
+	return nil
+}
+
+// advance delta-decodes the next timestamp of the current section.
+func (sr *StreamReader) advance(dt uint64, what string) (Time, error) {
+	if dt > math.MaxInt64 || sr.prev > math.MaxInt64-Time(dt) {
+		return 0, fmt.Errorf("%w: %s %d %s delta %d overflows", ErrBadFormat, sr.kind, sr.idx, what, dt)
+	}
+	sr.prev += Time(dt)
+	return sr.prev, nil
+}
+
+func (sr *StreamReader) readEvent(rec *Record) error {
+	i := sr.idx
+	dt, err := binary.ReadUvarint(sr.br)
+	if err != nil {
+		return fmt.Errorf("%w: event %d time: %v", ErrBadFormat, i, err)
+	}
+	rank, err := binary.ReadUvarint(sr.br)
+	if err != nil {
+		return fmt.Errorf("%w: event %d rank: %v", ErrBadFormat, i, err)
+	}
+	typ, err := sr.br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("%w: event %d type: %v", ErrBadFormat, i, err)
+	}
+	val, err := binary.ReadVarint(sr.br)
+	if err != nil {
+		return fmt.Errorf("%w: event %d value: %v", ErrBadFormat, i, err)
+	}
+	flag, err := sr.br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("%w: event %d counter flag: %v", ErrBadFormat, i, err)
+	}
+	t, err := sr.advance(dt, "time")
+	if err != nil {
+		return err
+	}
+	e := &rec.Event
+	*e = Event{Rank: int32(rank), Time: t, Type: EventType(typ), Value: val}
+	switch flag {
+	case 0:
+	case 1:
+		e.HasCounters = true
+		for c := 0; c < int(counters.NumCounters); c++ {
+			v, err := binary.ReadVarint(sr.br)
+			if err != nil {
+				return fmt.Errorf("%w: event %d counter %d: %v", ErrBadFormat, i, c, err)
+			}
+			e.Counters[c] = v
+		}
+	default:
+		return fmt.Errorf("%w: event %d has invalid counter flag %d", ErrBadFormat, i, flag)
+	}
+	rec.Kind = KindEvent
+	return nil
+}
+
+func (sr *StreamReader) readSample(rec *Record) error {
+	i := sr.idx
+	dt, err := binary.ReadUvarint(sr.br)
+	if err != nil {
+		return fmt.Errorf("%w: sample %d time: %v", ErrBadFormat, i, err)
+	}
+	rank, err := binary.ReadUvarint(sr.br)
+	if err != nil {
+		return fmt.Errorf("%w: sample %d rank: %v", ErrBadFormat, i, err)
+	}
+	t, err := sr.advance(dt, "time")
+	if err != nil {
+		return err
+	}
+	s := &rec.Sample
+	s.Time = t
+	s.Rank = int32(rank)
+	for c := 0; c < int(counters.NumCounters); c++ {
+		v, err := binary.ReadVarint(sr.br)
+		if err != nil {
+			return fmt.Errorf("%w: sample %d counter %d: %v", ErrBadFormat, i, c, err)
+		}
+		s.Counters[c] = v
+	}
+	depth, err := binary.ReadUvarint(sr.br)
+	if err != nil {
+		return fmt.Errorf("%w: sample %d stack depth: %v", ErrBadFormat, i, err)
+	}
+	if depth > 1024 {
+		return fmt.Errorf("%w: sample %d stack depth %d too large", ErrBadFormat, i, depth)
+	}
+	s.Stack = s.Stack[:0]
+	for d := uint64(0); d < depth; d++ {
+		f, err := binary.ReadUvarint(sr.br)
+		if err != nil {
+			return fmt.Errorf("%w: sample %d frame %d: %v", ErrBadFormat, i, d, err)
+		}
+		s.Stack = append(s.Stack, uint32(f))
+	}
+	if depth == 0 {
+		s.Stack = nil
+	}
+	rec.Kind = KindSample
+	return nil
+}
+
+func (sr *StreamReader) readComm(rec *Record) error {
+	i := sr.idx
+	dt, err := binary.ReadUvarint(sr.br)
+	if err != nil {
+		return fmt.Errorf("%w: comm %d send time: %v", ErrBadFormat, i, err)
+	}
+	lat, err := binary.ReadVarint(sr.br)
+	if err != nil {
+		return fmt.Errorf("%w: comm %d latency: %v", ErrBadFormat, i, err)
+	}
+	src, err := binary.ReadUvarint(sr.br)
+	if err != nil {
+		return fmt.Errorf("%w: comm %d src: %v", ErrBadFormat, i, err)
+	}
+	dst, err := binary.ReadUvarint(sr.br)
+	if err != nil {
+		return fmt.Errorf("%w: comm %d dst: %v", ErrBadFormat, i, err)
+	}
+	size, err := binary.ReadVarint(sr.br)
+	if err != nil {
+		return fmt.Errorf("%w: comm %d size: %v", ErrBadFormat, i, err)
+	}
+	tag, err := binary.ReadVarint(sr.br)
+	if err != nil {
+		return fmt.Errorf("%w: comm %d tag: %v", ErrBadFormat, i, err)
+	}
+	t, err := sr.advance(dt, "send time")
+	if err != nil {
+		return err
+	}
+	rec.Comm = Comm{
+		Src: int32(src), Dst: int32(dst),
+		SendTime: t, RecvTime: t + Time(lat),
+		Size: size, Tag: int32(tag),
+	}
+	rec.Kind = KindComm
+	return nil
+}
+
+// StreamWriter encodes a binary trace record-at-a-time: header first,
+// then the three sections in order, each begun with its record count.
+// Its output is byte-identical to Trace.Write for the same records —
+// Write is a thin wrapper over it.
+type StreamWriter struct {
+	bw   *bufio.Writer
+	buf  []byte
+	next Kind   // section Begin expects next
+	open bool   // a section is begun and not yet complete
+	left uint64 // records still owed to the open section
+	prev Time
+	err  error
+}
+
+// NewStreamWriter writes the magic and metadata header to w and returns
+// a writer positioned before the event section. The caller must Begin
+// and fill each of the three sections in order, then Close.
+func NewStreamWriter(w io.Writer, meta *Metadata) (*StreamWriter, error) {
+	sw := &StreamWriter{bw: bufio.NewWriterSize(w, 1<<20)}
+	if _, err := sw.bw.Write(magic[:]); err != nil {
+		return nil, err
+	}
+	mj, err := json.Marshal(meta)
+	if err != nil {
+		return nil, fmt.Errorf("trace: encoding metadata: %w", err)
+	}
+	sw.buf = make([]byte, 0, 64)
+	sw.buf = binary.AppendUvarint(sw.buf, uint64(len(mj)))
+	if _, err := sw.bw.Write(sw.buf); err != nil {
+		return nil, err
+	}
+	sw.buf = sw.buf[:0]
+	if _, err := sw.bw.Write(mj); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// Begin opens section k, declaring its exact record count. Sections must
+// be begun in order (events, samples, comms), each exactly once.
+func (sw *StreamWriter) Begin(k Kind, count int) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if k != sw.next || sw.open {
+		return sw.fail(fmt.Errorf("trace: Begin(%v) out of order", k))
+	}
+	if count < 0 {
+		return sw.fail(fmt.Errorf("trace: negative %v count %d", k, count))
+	}
+	sw.buf = binary.AppendUvarint(sw.buf, uint64(count))
+	sw.next++
+	sw.open = count > 0
+	sw.left = uint64(count)
+	sw.prev = 0
+	return sw.flushMaybe()
+}
+
+func (sw *StreamWriter) fail(err error) error {
+	sw.err = err
+	return err
+}
+
+// ready checks that section k is open with records still owed.
+func (sw *StreamWriter) ready(k Kind) error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if !sw.open || sw.next != k+1 {
+		return sw.fail(fmt.Errorf("trace: %v written outside its section", k))
+	}
+	if sw.left == 0 {
+		return sw.fail(fmt.Errorf("trace: more %vs written than declared", k))
+	}
+	return nil
+}
+
+func (sw *StreamWriter) consumed() error {
+	sw.left--
+	if sw.left == 0 {
+		sw.open = false
+	}
+	return sw.flushMaybe()
+}
+
+// flushMaybe spills the accumulation buffer once it passes 64 KiB.
+func (sw *StreamWriter) flushMaybe() error {
+	if len(sw.buf) < 1<<16 {
+		return nil
+	}
+	if _, err := sw.bw.Write(sw.buf); err != nil {
+		return sw.fail(err)
+	}
+	sw.buf = sw.buf[:0]
+	return nil
+}
+
+// WriteEvent appends one event to the open event section.
+func (sw *StreamWriter) WriteEvent(e *Event) error {
+	if err := sw.ready(KindEvent); err != nil {
+		return err
+	}
+	sw.buf = binary.AppendUvarint(sw.buf, uint64(e.Time-sw.prev))
+	sw.prev = e.Time
+	sw.buf = binary.AppendUvarint(sw.buf, uint64(e.Rank))
+	sw.buf = append(sw.buf, byte(e.Type))
+	sw.buf = binary.AppendVarint(sw.buf, e.Value)
+	if e.HasCounters {
+		sw.buf = append(sw.buf, 1)
+		for _, v := range e.Counters {
+			sw.buf = binary.AppendVarint(sw.buf, v)
+		}
+	} else {
+		sw.buf = append(sw.buf, 0)
+	}
+	return sw.consumed()
+}
+
+// WriteSample appends one sample to the open sample section.
+func (sw *StreamWriter) WriteSample(s *Sample) error {
+	if err := sw.ready(KindSample); err != nil {
+		return err
+	}
+	sw.buf = binary.AppendUvarint(sw.buf, uint64(s.Time-sw.prev))
+	sw.prev = s.Time
+	sw.buf = binary.AppendUvarint(sw.buf, uint64(s.Rank))
+	for _, v := range s.Counters {
+		sw.buf = binary.AppendVarint(sw.buf, v)
+	}
+	sw.buf = binary.AppendUvarint(sw.buf, uint64(len(s.Stack)))
+	for _, f := range s.Stack {
+		sw.buf = binary.AppendUvarint(sw.buf, uint64(f))
+	}
+	return sw.consumed()
+}
+
+// WriteComm appends one comm to the open comm section.
+func (sw *StreamWriter) WriteComm(c *Comm) error {
+	if err := sw.ready(KindComm); err != nil {
+		return err
+	}
+	sw.buf = binary.AppendUvarint(sw.buf, uint64(c.SendTime-sw.prev))
+	sw.prev = c.SendTime
+	sw.buf = binary.AppendVarint(sw.buf, int64(c.RecvTime-c.SendTime))
+	sw.buf = binary.AppendUvarint(sw.buf, uint64(c.Src))
+	sw.buf = binary.AppendUvarint(sw.buf, uint64(c.Dst))
+	sw.buf = binary.AppendVarint(sw.buf, c.Size)
+	sw.buf = binary.AppendVarint(sw.buf, int64(c.Tag))
+	return sw.consumed()
+}
+
+// WriteRecord appends rec's active variant to the matching section.
+func (sw *StreamWriter) WriteRecord(rec *Record) error {
+	switch rec.Kind {
+	case KindEvent:
+		return sw.WriteEvent(&rec.Event)
+	case KindSample:
+		return sw.WriteSample(&rec.Sample)
+	case KindComm:
+		return sw.WriteComm(&rec.Comm)
+	}
+	if sw.err != nil {
+		return sw.err
+	}
+	return sw.fail(fmt.Errorf("trace: unknown record kind %d", rec.Kind))
+}
+
+// Close verifies every declared section is complete and flushes the
+// underlying writer.
+func (sw *StreamWriter) Close() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	if sw.next != numKinds || sw.open {
+		return sw.fail(fmt.Errorf("trace: Close before all sections were written"))
+	}
+	if _, err := sw.bw.Write(sw.buf); err != nil {
+		return sw.fail(err)
+	}
+	sw.buf = sw.buf[:0]
+	if err := sw.bw.Flush(); err != nil {
+		return sw.fail(err)
+	}
+	return nil
+}

@@ -224,7 +224,7 @@ func TestRoundTripRandomized(t *testing.T) {
 				b.Sample(r, now[r], ctr[r][:], stack)
 			case 2:
 				dst := int32(rng.IntN(ranks))
-				b.Comm(r, dst, now[r], now[r]+Time(rng.IntN(500)), rng.Int64N(1 << 20), int32(rng.IntN(100)))
+				b.Comm(r, dst, now[r], now[r]+Time(rng.IntN(500)), rng.Int64N(1<<20), int32(rng.IntN(100)))
 			}
 		}
 		for r := int32(0); r < int32(ranks); r++ {
@@ -279,8 +279,8 @@ func TestBadMagic(t *testing.T) {
 
 func TestCorruptMetadata(t *testing.T) {
 	raw := append([]byte{}, magic[:]...)
-	raw = append(raw, 5)                      // metaLen = 5
-	raw = append(raw, []byte("notjs")...)     // invalid JSON
+	raw = append(raw, 5)                  // metaLen = 5
+	raw = append(raw, []byte("notjs")...) // invalid JSON
 	if _, err := ReadFrom(bytes.NewReader(raw)); err == nil {
 		t.Fatal("expected error for corrupt metadata")
 	}
@@ -294,11 +294,11 @@ func TestValidateCatchesViolations(t *testing.T) {
 		"unsorted events": func(tr *Trace) {
 			tr.Events[0], tr.Events[len(tr.Events)-1] = tr.Events[len(tr.Events)-1], tr.Events[0]
 		},
-		"double MPI enter":  func(tr *Trace) { tr.Events[2].Value = int64(MPIBarrier); tr.Events[3].Value = int64(MPIBarrier) },
-		"comm recv early":   func(tr *Trace) { tr.Comms[0].RecvTime = tr.Comms[0].SendTime - 1 },
-		"comm negative sz":  func(tr *Trace) { tr.Comms[0].Size = -1 },
-		"zero ranks":        func(tr *Trace) { tr.Meta.Ranks = 0 },
-		"sample rank":       func(tr *Trace) { tr.Samples[0].Rank = -1 },
+		"double MPI enter": func(tr *Trace) { tr.Events[2].Value = int64(MPIBarrier); tr.Events[3].Value = int64(MPIBarrier) },
+		"comm recv early":  func(tr *Trace) { tr.Comms[0].RecvTime = tr.Comms[0].SendTime - 1 },
+		"comm negative sz": func(tr *Trace) { tr.Comms[0].Size = -1 },
+		"zero ranks":       func(tr *Trace) { tr.Meta.Ranks = 0 },
+		"sample rank":      func(tr *Trace) { tr.Samples[0].Rank = -1 },
 	}
 	for name, mutate := range mutations {
 		var buf bytes.Buffer

@@ -10,6 +10,15 @@ import (
 // ErrInvalid is wrapped by all validation failures.
 var ErrInvalid = errors.New("trace: invalid trace")
 
+// Validate checks the metadata-level invariants — the subset of Trace
+// validation a streaming consumer can apply before seeing any record.
+func (m *Metadata) Validate() error {
+	if m.Ranks < 1 {
+		return fmt.Errorf("%w: metadata rank count %d", ErrInvalid, m.Ranks)
+	}
+	return nil
+}
+
 // Validate checks structural invariants of a trace:
 //
 //   - metadata rank count covers every record's rank
@@ -22,8 +31,8 @@ var ErrInvalid = errors.New("trace: invalid trace")
 // It returns the first violation found, or nil.
 func (tr *Trace) Validate() error {
 	ranks := tr.Meta.Ranks
-	if ranks < 1 {
-		return fmt.Errorf("%w: metadata rank count %d", ErrInvalid, ranks)
+	if err := tr.Meta.Validate(); err != nil {
+		return err
 	}
 
 	checkRank := func(kind string, i int, rank int32) error {
