@@ -1,10 +1,12 @@
 # Tiers:
 #   make test     — tier-1 (the gate every PR must keep green)
 #   make check    — tier-2: vet + race-enabled tests (catches data races in
-#                   the parallel analysis engine) + a short fuzz run over
-#                   the trace decoder
+#                   the parallel analysis engine) + the property tests that
+#                   pin the indexed clustering kernels to their brute-force
+#                   references + a short fuzz run over the trace decoder
 #   make bench    — run the benchmark suite and record a trajectory
-#                   snapshot in BENCH_<date>.json via cmd/benchjson
+#                   snapshot in BENCH_<date>.json via cmd/benchjson (which
+#                   also diffs against the previous snapshot)
 #   make benchmem — memory tier: just the streaming-vs-batch allocation
 #                   comparison, recorded in BENCH_MEM_<date>.json
 
@@ -14,6 +16,10 @@ DATE      := $(shell date +%Y-%m-%d)
 BENCH     ?= .
 BENCHTIME ?= 1s
 FUZZTIME  ?= 10s
+# BENCH_SCALE=large unlocks the expensive baselines: the quadratic
+# AutoEps/Silhouette reference kernels at n=100k and the end-to-end
+# clustering of a ~100k-burst trace (tracegen -preset bench-large).
+BENCH_SCALE ?=
 
 .PHONY: build test check bench benchmem
 
@@ -26,10 +32,11 @@ test:
 check:
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(GO) test -run 'Property' -count 1 ./internal/cluster
 	$(GO) test -run '^$$' -fuzz FuzzReadFrom -fuzztime $(FUZZTIME) ./internal/trace
 
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -timeout 60m . \
+	BENCH_SCALE=$(BENCH_SCALE) $(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -timeout 60m . \
 		| $(GO) run ./cmd/benchjson -out BENCH_$(DATE).json
 
 benchmem:

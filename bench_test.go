@@ -15,7 +15,9 @@ package repro
 
 import (
 	"bytes"
+	"math"
 	"math/rand/v2"
+	"os"
 	"runtime"
 	"testing"
 
@@ -352,41 +354,131 @@ func benchClusteredPoints(n int) ([][]float64, []int) {
 	return points, assign
 }
 
-// BenchmarkSilhouette measures the sequential silhouette kernel on 4k
-// 3-D points (≈16M distance evaluations).
+// benchScaleLarge reports whether the expensive large-scale baselines
+// were requested (`make bench BENCH_SCALE=large`). The quadratic
+// reference kernels at n=100k take minutes per op, so they stay off the
+// default sweep; the indexed kernels run at every n unconditionally.
+func benchScaleLarge() bool { return os.Getenv("BENCH_SCALE") == "large" }
+
+// benchSizes are the point counts the clustering-kernel benchmarks
+// sweep; names like "10k" key the BENCH_<date>.json trajectory.
+var benchSizes = []struct {
+	n    int
+	name string
+}{{1000, "1k"}, {10_000, "10k"}, {100_000, "100k"}}
+
+// BenchmarkSilhouette sweeps the silhouette kernel across sizes and
+// exactness: "exact" is the per-cluster sum decomposition (bit-identical
+// to the historical all-pairs scan), "sampled256" caps every cluster at
+// 256 strided members (O(n·K·S)). exact-100k needs BENCH_SCALE=large.
 func BenchmarkSilhouette(b *testing.B) {
-	points, assign := benchClusteredPoints(4000)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		cluster.SilhouetteP(points, assign, 1)
+	for _, sz := range benchSizes {
+		points, assign := benchClusteredPoints(sz.n)
+		b.Run("exact-"+sz.name, func(b *testing.B) {
+			if sz.n >= 100_000 && !benchScaleLarge() {
+				b.Skip("quadratic at n=100k; set BENCH_SCALE=large")
+			}
+			for i := 0; i < b.N; i++ {
+				cluster.SilhouetteSampled(points, assign, 0, 1)
+			}
+		})
+		b.Run("sampled256-"+sz.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cluster.SilhouetteSampled(points, assign, 256, 1)
+			}
+		})
 	}
 }
 
-// BenchmarkSilhouetteParallel is the same kernel row-partitioned across
-// all cores; the result is bitwise identical to the sequential run.
-func BenchmarkSilhouetteParallel(b *testing.B) {
-	points, assign := benchClusteredPoints(4000)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		cluster.SilhouetteP(points, assign, runtime.GOMAXPROCS(0))
-	}
-}
-
-// BenchmarkAutoEps measures the sequential k-dist eps selection on 4k
-// points.
+// BenchmarkAutoEps sweeps k-dist eps selection across sizes and neighbor
+// search: "brute" scans all pairs with a bounded heap per row, "kd"
+// queries the k-d tree. Both return bit-identical eps, so the ratio is
+// pure index speedup. brute-100k needs BENCH_SCALE=large.
 func BenchmarkAutoEps(b *testing.B) {
-	points, _ := benchClusteredPoints(4000)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		cluster.AutoEpsP(points, 4, 1)
+	modes := []struct {
+		mode cluster.IndexMode
+		name string
+	}{{cluster.IndexBrute, "brute"}, {cluster.IndexKDTree, "kd"}}
+	for _, sz := range benchSizes {
+		points, _ := benchClusteredPoints(sz.n)
+		for _, m := range modes {
+			b.Run(m.name+"-"+sz.name, func(b *testing.B) {
+				if m.mode == cluster.IndexBrute && sz.n >= 100_000 && !benchScaleLarge() {
+					b.Skip("quadratic at n=100k; set BENCH_SCALE=large")
+				}
+				for i := 0; i < b.N; i++ {
+					cluster.AutoEpsMode(points, 4, 1, m.mode)
+				}
+			})
+		}
 	}
 }
 
-// BenchmarkAutoEpsParallel is the chunk-parallel k-dist scan.
-func BenchmarkAutoEpsParallel(b *testing.B) {
-	points, _ := benchClusteredPoints(4000)
+// benchUniformPoints spreads n points uniformly over the unit cube —
+// the bounded-density regime the DBSCAN grid is built for (the blob set
+// from benchClusteredPoints would put thousands of points in one cell
+// and measure the scan, not the index).
+func benchUniformPoints(n int) [][]float64 {
+	rng := rand.New(rand.NewPCG(9, 10))
+	points := make([][]float64, n)
+	for i := range points {
+		points[i] = []float64{rng.Float64(), rng.Float64(), rng.Float64()}
+	}
+	return points
+}
+
+// BenchmarkDBSCANIndex measures one steady-state neighbor query against
+// the packed-coordinate grid, with eps sized for ~20 expected neighbors
+// at every n. The grid is built and the append buffer grown before the
+// timer starts, so allocs/op reports the steady state — the contract is
+// 0 B/op.
+func BenchmarkDBSCANIndex(b *testing.B) {
+	for _, sz := range benchSizes {
+		points := benchUniformPoints(sz.n)
+		eps := math.Cbrt(20.0 * 6 / math.Pi / float64(sz.n))
+		b.Run(sz.name, func(b *testing.B) {
+			g := cluster.NewNeighborGrid(points, eps)
+			var buf []int32
+			for i := range points {
+				buf = g.Append(i, buf[:0])
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = g.Append(i%sz.n, buf[:0])
+			}
+		})
+	}
+}
+
+// BenchmarkClusterTraceLarge runs the full clustering stage (normalize,
+// auto-eps, DBSCAN, sampled silhouette) over the bench-large preset
+// trace — ~100k kept bursts from 32 stencil ranks — the end-to-end
+// workload the indexed kernels exist for. Needs BENCH_SCALE=large; the
+// trace is simulated outside the timer.
+func BenchmarkClusterTraceLarge(b *testing.B) {
+	if !benchScaleLarge() {
+		b.Skip("set BENCH_SCALE=large to simulate and cluster the ~100k-burst trace")
+	}
+	app, err := apps.ByName(apps.BenchLargeApp, apps.BenchLargeIters)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := apps.DefaultTraceConfig(apps.BenchLargeRanks)
+	cfg.Seed = apps.BenchLargeSeed
+	tr, err := sim.Run(cfg, app)
+	if err != nil {
+		b.Fatal(err)
+	}
+	all, err := burst.Extract(tr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	kept, _ := burst.Filter{MinDuration: 50_000}.Apply(all)
+	b.Logf("clustering %d kept bursts", len(kept))
+	ccfg := cluster.Config{UseIPC: true, Parallelism: 1, SilhouetteSample: 256}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		cluster.AutoEpsP(points, 4, runtime.GOMAXPROCS(0))
+		cluster.ClusterBursts(kept, ccfg)
 	}
 }

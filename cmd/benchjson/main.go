@@ -8,6 +8,11 @@
 //
 //	go test -run '^$' -bench . -benchmem | benchjson -out BENCH_2026-08-05.json
 //
+// After writing, it diffs the new entries against the most recent prior
+// BENCH_<date>.json with the same name prefix in the output directory
+// (override with -prev, disable with -prev none) and prints the
+// per-benchmark trajectory to stderr.
+//
 // The snapshot records the runner (goos/goarch/CPU count/go version)
 // because ns/op from a 1-core container and a 64-core server are not
 // comparable; trajectory tooling should group by runner fingerprint.
@@ -19,8 +24,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"regexp"
 	"runtime"
+	"sort"
 	"strconv"
 	"time"
 )
@@ -86,9 +93,94 @@ func parseLine(line string) (Entry, bool) {
 	return e, true
 }
 
+// snapName matches the snapshot naming scheme, capturing the free-form
+// prefix and the ISO date: BENCH_2026-08-05.json → ("BENCH_", "2026-08-05").
+var snapName = regexp.MustCompile(`^(.*?)(\d{4}-\d{2}-\d{2})\.json$`)
+
+// findPrev locates the most recent snapshot older than outPath that
+// follows the same <prefix><YYYY-MM-DD>.json naming scheme in the same
+// directory. Returns "" when outPath doesn't follow the scheme or no
+// prior snapshot exists. ISO dates sort lexicographically, so "older"
+// and "most recent" are plain string comparisons.
+func findPrev(outPath string) string {
+	m := snapName.FindStringSubmatch(filepath.Base(outPath))
+	if m == nil {
+		return ""
+	}
+	prefix, date := m[1], m[2]
+	dir := filepath.Dir(outPath)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return ""
+	}
+	best := ""
+	for _, e := range entries {
+		em := snapName.FindStringSubmatch(e.Name())
+		if em == nil || em[1] != prefix || em[2] >= date {
+			continue
+		}
+		if best == "" || em[2] > bestDate(best) {
+			best = e.Name()
+		}
+	}
+	if best == "" {
+		return ""
+	}
+	return filepath.Join(dir, best)
+}
+
+func bestDate(name string) string { return snapName.FindStringSubmatch(name)[2] }
+
+// diffLines renders the per-benchmark trajectory between two snapshots:
+// new ns/op against prior ns/op (with relative change) and B/op when
+// both runs recorded allocations. Benchmarks are matched by name and
+// GOMAXPROCS; entries only in prev are dropped, entries only in cur are
+// marked new.
+func diffLines(prev, cur *Snapshot) []string {
+	entryKey := func(e Entry) string { return fmt.Sprintf("%s@%d", e.Name, e.Procs) }
+	prevBy := make(map[string]Entry, len(prev.Benchmarks))
+	for _, e := range prev.Benchmarks {
+		prevBy[entryKey(e)] = e
+	}
+	var lines []string
+	for _, e := range cur.Benchmarks {
+		p, ok := prevBy[entryKey(e)]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("  %-48s %14.0f ns/op  (new)", e.Name, e.NsPerOp))
+			continue
+		}
+		l := fmt.Sprintf("  %-48s %14.0f ns/op  (was %.0f", e.Name, e.NsPerOp, p.NsPerOp)
+		if p.NsPerOp > 0 {
+			l += fmt.Sprintf(", %+.1f%%", 100*(e.NsPerOp-p.NsPerOp)/p.NsPerOp)
+		}
+		l += ")"
+		if e.BytesPerOp != nil && p.BytesPerOp != nil {
+			l += fmt.Sprintf("  %d B/op (was %d)", *e.BytesPerOp, *p.BytesPerOp)
+		}
+		lines = append(lines, l)
+	}
+	sort.Strings(lines)
+	return lines
+}
+
+// readSnapshot loads a prior trajectory snapshot.
+func readSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &s, nil
+}
+
 func main() {
 	out := flag.String("out", "",
 		"output JSON path (default BENCH_<today>.json)")
+	prev := flag.String("prev", "",
+		"prior snapshot to diff against (default: newest older BENCH_<date>.json beside -out; \"none\" disables)")
 	flag.Parse()
 	if *out == "" {
 		*out = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
@@ -131,6 +223,26 @@ func main() {
 		fatal(err)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(snap.Benchmarks), *out)
+
+	prevPath := *prev
+	if prevPath == "" {
+		prevPath = findPrev(*out)
+	}
+	if prevPath == "" || prevPath == "none" {
+		return
+	}
+	prevSnap, err := readSnapshot(prevPath)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: trajectory vs %s (%s, %d CPU):\n",
+		prevPath, prevSnap.GoVersion, prevSnap.NumCPU)
+	if prevSnap.NumCPU != snap.NumCPU || prevSnap.GOARCH != snap.GOARCH {
+		fmt.Fprintln(os.Stderr, "benchjson: warning: runner fingerprint differs — deltas are not apples-to-apples")
+	}
+	for _, l := range diffLines(prevSnap, &snap) {
+		fmt.Fprintln(os.Stderr, l)
+	}
 }
 
 func fatal(err error) {

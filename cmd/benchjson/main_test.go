@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestParseLineFull(t *testing.T) {
 	e, ok := parseLine("BenchmarkFold-8   \t     100\t  12345678 ns/op\t  54.21 MB/s\t  2345 B/op\t   67 allocs/op")
@@ -51,6 +56,76 @@ func TestParseLineRejectsNoise(t *testing.T) {
 		if _, ok := parseLine(line); ok {
 			t.Fatalf("noise line parsed as benchmark: %q", line)
 		}
+	}
+}
+
+func TestFindPrev(t *testing.T) {
+	dir := t.TempDir()
+	touch := func(name string) {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := filepath.Join(dir, "BENCH_2026-08-06.json")
+
+	// No candidates yet.
+	if got := findPrev(out); got != "" {
+		t.Fatalf("empty dir: findPrev = %q, want \"\"", got)
+	}
+	// Picks the newest strictly-older snapshot with the same prefix; the
+	// out file itself, newer dates, other prefixes and non-scheme names
+	// are all ignored.
+	touch("BENCH_2026-08-01.json")
+	touch("BENCH_2026-08-05.json")
+	touch("BENCH_2026-08-06.json")
+	touch("BENCH_2026-08-07.json")
+	touch("OTHER_2026-08-05.json")
+	touch("notes.json")
+	if got := findPrev(out); got != filepath.Join(dir, "BENCH_2026-08-05.json") {
+		t.Fatalf("findPrev = %q", got)
+	}
+	// An out path outside the naming scheme has no trajectory.
+	if got := findPrev(filepath.Join(dir, "results.json")); got != "" {
+		t.Fatalf("non-scheme out: findPrev = %q, want \"\"", got)
+	}
+}
+
+func TestDiffLines(t *testing.T) {
+	i64 := func(v int64) *int64 { return &v }
+	prev := &Snapshot{Benchmarks: []Entry{
+		{Name: "BenchmarkAutoEps/kd-10k", Procs: 1, NsPerOp: 2e8, BytesPerOp: i64(4096)},
+		{Name: "BenchmarkGone", Procs: 1, NsPerOp: 5},
+	}}
+	cur := &Snapshot{Benchmarks: []Entry{
+		{Name: "BenchmarkAutoEps/kd-10k", Procs: 1, NsPerOp: 1e8, BytesPerOp: i64(0)},
+		{Name: "BenchmarkDBSCANIndex/10k", Procs: 1, NsPerOp: 3e6},
+	}}
+	lines := diffLines(prev, cur)
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %v", len(lines), lines)
+	}
+	joined := strings.Join(lines, "\n")
+	if !strings.Contains(joined, "-50.0%") {
+		t.Fatalf("halved ns/op not reported as -50.0%%:\n%s", joined)
+	}
+	if !strings.Contains(joined, "0 B/op (was 4096)") {
+		t.Fatalf("B/op delta missing:\n%s", joined)
+	}
+	if !strings.Contains(joined, "BenchmarkDBSCANIndex/10k") || !strings.Contains(joined, "(new)") {
+		t.Fatalf("new benchmark not marked:\n%s", joined)
+	}
+	if strings.Contains(joined, "BenchmarkGone") {
+		t.Fatalf("removed benchmark leaked into diff:\n%s", joined)
+	}
+}
+
+func TestDiffLinesZeroBaseline(t *testing.T) {
+	// A zero prior ns/op must not divide by zero.
+	prev := &Snapshot{Benchmarks: []Entry{{Name: "BenchmarkX", Procs: 1, NsPerOp: 0}}}
+	cur := &Snapshot{Benchmarks: []Entry{{Name: "BenchmarkX", Procs: 1, NsPerOp: 10}}}
+	lines := diffLines(prev, cur)
+	if len(lines) != 1 || strings.Contains(lines[0], "%") {
+		t.Fatalf("zero baseline mishandled: %v", lines)
 	}
 }
 

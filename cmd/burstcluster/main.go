@@ -34,10 +34,17 @@ func main() {
 		noIPC  = flag.Bool("no-ipc", false, "cluster in 2-D (duration × instructions) instead of 3-D")
 		scout  = flag.String("scatter", "", "write burst scatter TSV (duration_us, ipc, cluster)")
 		par    = flag.Int("parallel", 0, "clustering worker count (0 = all cores, 1 = sequential); output is identical either way")
+		knn    = flag.String("knn", "auto", "k-dist neighbor search for automatic eps: auto, kdtree, brute (eps is identical either way)")
+		silN   = flag.Int("sil-sample", 0, "cap per-cluster members in the silhouette kernel (0 = exact; >0 trades exactness for O(n·K·S) cost)")
 		stream = flag.Bool("stream", false, "consume the trace record-by-record (stdin when -in is empty or \"-\")")
 	)
 	flag.Parse()
-	ccfg := cluster.Config{Eps: *eps, MinPts: *minPts, UseIPC: !*noIPC, Parallelism: *par}
+	index, err := cluster.ParseIndexMode(*knn)
+	if err != nil {
+		fatal(err)
+	}
+	ccfg := cluster.Config{Eps: *eps, MinPts: *minPts, UseIPC: !*noIPC,
+		Parallelism: *par, Index: index, SilhouetteSample: *silN}
 
 	var (
 		app      string

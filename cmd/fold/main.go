@@ -29,6 +29,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/counters"
 	"repro/internal/folding"
@@ -46,6 +47,8 @@ func main() {
 		curves     = flag.String("curves", "", "directory to write per-phase folded-curve TSVs")
 		iterations = flag.Bool("iterations", false, "fold whole iterations (EvIteration markers) instead of clustered bursts")
 		par        = flag.Int("parallel", 0, "analysis worker count (0 = all cores, 1 = sequential); output is identical either way")
+		knn        = flag.String("knn", "auto", "k-dist neighbor search for automatic eps: auto, kdtree, brute (output is identical either way)")
+		silN       = flag.Int("sil-sample", 0, "cap per-cluster members in the silhouette kernel (0 = exact)")
 		stream     = flag.Bool("stream", false, "analyze the trace record-by-record as it is read (stdin when -in is empty or \"-\")")
 		online     = flag.Bool("online", false, "with -stream: bounded-memory analysis (train-then-classify, incremental folding)")
 		train      = flag.Int("train", 0, "with -online: training-prefix length in bursts (0 = default 512)")
@@ -54,6 +57,12 @@ func main() {
 	flag.Parse()
 
 	opts := core.Options{MaxPhases: *phases, Parallelism: *par}
+	index, err := cluster.ParseIndexMode(*knn)
+	if err != nil {
+		fatal(err)
+	}
+	opts.Cluster.Index = index
+	opts.Cluster.SilhouetteSample = *silN
 	opts.Fold.Bins = *bins
 	switch *model {
 	case "binned+pchip":

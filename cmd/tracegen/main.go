@@ -24,6 +24,7 @@ import (
 func main() {
 	var (
 		appName = flag.String("app", "stencil", "application: "+strings.Join(apps.Names(), ", "))
+		preset  = flag.String("preset", "", "named workload preset overriding -app/-ranks/-iters ("+apps.BenchLargeName+": ~100k bursts for the large-scale benchmarks)")
 		ranks   = flag.Int("ranks", 16, "number of MPI ranks")
 		iters   = flag.Int("iters", 200, "main-loop iterations")
 		seed    = flag.Uint64("seed", 1, "simulator seed")
@@ -33,6 +34,14 @@ func main() {
 		prv     = flag.Bool("prv", false, "also write <out>.prv and <out>.pcf (Paraver-style text)")
 	)
 	flag.Parse()
+
+	switch *preset {
+	case "":
+	case apps.BenchLargeName:
+		*appName, *ranks, *iters = apps.BenchLargeApp, apps.BenchLargeRanks, apps.BenchLargeIters
+	default:
+		fatal(fmt.Errorf("unknown preset %q (want %s)", *preset, apps.BenchLargeName))
+	}
 
 	app, err := apps.ByName(*appName, *iters)
 	if err != nil {

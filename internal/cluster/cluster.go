@@ -25,11 +25,69 @@ type Config struct {
 	// noise produces tiny outlying shards that DBSCAN dutifully groups;
 	// they are measurement debris, not application phases.
 	MinClusterShare float64
-	// Parallelism bounds the workers used by the quadratic kernels
+	// Parallelism bounds the workers used by the heavy kernels
 	// (AutoEps, Silhouette) and DBSCAN's neighbor precomputation; 0
 	// selects GOMAXPROCS, 1 forces sequential execution. The clustering
 	// result is identical for every value.
 	Parallelism int
+	// Index selects the neighbor-search implementation behind AutoEps's
+	// k-dist scan. IndexAuto (the zero value) uses the k-d tree at or
+	// above indexAutoMin points and the brute-force scan below;
+	// IndexBrute and IndexKDTree force one path. Both produce
+	// bit-identical eps for every input — the tree search is exact — so
+	// this is purely a performance knob.
+	Index IndexMode
+	// SilhouetteSample caps how many members of each cluster contribute
+	// to a point's silhouette distance means. 0 (the default) keeps the
+	// exact all-members computation; a positive value S deterministically
+	// subsamples clusters larger than S (evenly strided member lists),
+	// reducing the kernel from O(n²) to O(n·K·S) at the cost of an
+	// approximate coefficient (see SilhouetteSampled).
+	SilhouetteSample int
+}
+
+// IndexMode selects the neighbor-search implementation for the
+// parameter-selection kernels.
+type IndexMode int
+
+const (
+	// IndexAuto picks the k-d tree at or above indexAutoMin points and
+	// brute force below, where the tree's build cost is not yet repaid.
+	IndexAuto IndexMode = iota
+	// IndexBrute forces the O(n²) reference scan.
+	IndexBrute
+	// IndexKDTree forces the indexed O(n log n) scan.
+	IndexKDTree
+)
+
+// indexAutoMin is the point count at which IndexAuto switches from the
+// brute-force scan to the k-d tree.
+const indexAutoMin = 512
+
+// String names the mode as the CLIs spell it (-knn flag values).
+func (m IndexMode) String() string {
+	switch m {
+	case IndexAuto:
+		return "auto"
+	case IndexBrute:
+		return "brute"
+	case IndexKDTree:
+		return "kdtree"
+	}
+	return fmt.Sprintf("IndexMode(%d)", int(m))
+}
+
+// ParseIndexMode parses a -knn flag value ("auto", "brute", "kdtree").
+func ParseIndexMode(s string) (IndexMode, error) {
+	switch s {
+	case "auto", "":
+		return IndexAuto, nil
+	case "brute":
+		return IndexBrute, nil
+	case "kdtree", "kd", "tree":
+		return IndexKDTree, nil
+	}
+	return IndexAuto, fmt.Errorf("cluster: unknown index mode %q (want auto, brute or kdtree)", s)
 }
 
 // Result is the outcome of clustering a burst set.
@@ -116,15 +174,25 @@ func Normalize(m [][]float64) {
 // lognormal duration noise produces — the knee rule lands in the dense
 // bulk and fragments each phase into shards.
 func AutoEps(points [][]float64, k int) float64 {
-	return AutoEpsP(points, k, 0)
+	return AutoEpsMode(points, k, 0, IndexAuto)
 }
 
-// AutoEpsP is AutoEps with an explicit worker bound: the O(n²) k-dist
-// scan is row-partitioned onto at most parallelism workers (0 =
-// GOMAXPROCS). Every row's k-dist is computed independently and written
-// to its own slot, so the returned eps is identical for every worker
-// count.
+// AutoEpsP is AutoEps with an explicit worker bound: the k-dist scan is
+// row-partitioned onto at most parallelism workers (0 = GOMAXPROCS).
+// Every row's k-dist is computed independently and written to its own
+// slot, so the returned eps is identical for every worker count.
 func AutoEpsP(points [][]float64, k, parallelism int) float64 {
+	return AutoEpsMode(points, k, parallelism, IndexAuto)
+}
+
+// AutoEpsMode is AutoEpsP with an explicit neighbor-search mode. The
+// indexed path queries a k-d tree with a bounded max-heap per point —
+// O(n log n) total instead of the brute scan's O(n²) — and both paths
+// finish with a quickselect of the 99th percentile rather than a full
+// sort. Because the tree search is exact and sqrt is monotone, every
+// mode returns bit-identical eps on the same input, for every
+// parallelism (the *Property* tests in knn_test.go enforce this).
+func AutoEpsMode(points [][]float64, k, parallelism int, mode IndexMode) float64 {
 	n := len(points)
 	if n == 0 {
 		return 0.1
@@ -136,22 +204,37 @@ func AutoEpsP(points [][]float64, k, parallelism int) float64 {
 		return 0.1
 	}
 	kd := make([]float64, n)
-	parallel.ForEachChunk(n, parallelism, func(lo, hi int) {
-		buf := parallel.GetFloat64(n - 1)
-		defer parallel.PutFloat64(buf)
-		for i := lo; i < hi; i++ {
-			dists := buf[:0]
-			for j := range points {
-				if i != j {
-					dists = append(dists, math.Sqrt(dist2(points[i], points[j])))
-				}
+	if mode == IndexKDTree || (mode == IndexAuto && n >= indexAutoMin) {
+		tree := NewKDTree(points)
+		parallel.ForEachChunk(n, parallelism, func(lo, hi int) {
+			heap := parallel.GetFloat64(k)
+			defer parallel.PutFloat64(heap)
+			for i := lo; i < hi; i++ {
+				kd[i] = tree.KNearestDist(i, k, heap)
 			}
-			sort.Float64s(dists)
-			kd[i] = dists[k-1]
-		}
-	})
-	sort.Float64s(kd)
-	eps := kd[n*99/100]
+		})
+	} else {
+		parallel.ForEachChunk(n, parallelism, func(lo, hi int) {
+			heap := parallel.GetFloat64(k)
+			defer parallel.PutFloat64(heap)
+			for i := lo; i < hi; i++ {
+				h := heap[:0]
+				for j := range points {
+					if i != j {
+						h = pushBounded(h, dist2(points[i], points[j]), k)
+					}
+				}
+				kd[i] = math.Sqrt(h[0])
+			}
+		})
+	}
+	// 99th-percentile k-dist; the clamp is redundant for n >= 1
+	// (n*99/100 <= n-1) but guards the invariant explicitly for tiny n.
+	idx := n * 99 / 100
+	if idx > n-1 {
+		idx = n - 1
+	}
+	eps := quantileSelect(kd, idx)
 	if eps <= 0 {
 		eps = 1e-3
 	}
@@ -171,7 +254,7 @@ func ClusterBursts(bursts []burst.Burst, cfg Config) Result {
 	}
 	res.Features = Features(bursts, cfg.UseIPC)
 	if res.Eps == 0 {
-		res.Eps = AutoEpsP(res.Features, res.MinPts, cfg.Parallelism)
+		res.Eps = AutoEpsMode(res.Features, res.MinPts, cfg.Parallelism, cfg.Index)
 	}
 	raw := DBSCANP(res.Features, res.Eps, res.MinPts, cfg.Parallelism)
 
@@ -222,7 +305,7 @@ func ClusterBursts(bursts []burst.Burst, cfg Config) Result {
 		bursts[i].Cluster = remap[c]
 	}
 	res.K = len(ids)
-	res.Silhouette = SilhouetteP(res.Features, res.Assign, cfg.Parallelism)
+	res.Silhouette = SilhouetteSampled(res.Features, res.Assign, cfg.SilhouetteSample, cfg.Parallelism)
 	return res
 }
 
@@ -233,52 +316,118 @@ func Silhouette(points [][]float64, assign []int) float64 {
 }
 
 // SilhouetteP is Silhouette with an explicit worker bound (0 =
-// GOMAXPROCS). Each clustered point's coefficient is an independent O(n)
-// scan, so the point set is chunk-partitioned across workers; the
-// per-point coefficients land in an indexed slice and are summed in point
-// order, making the result identical for every worker count.
+// GOMAXPROCS). Each clustered point's coefficient is an independent scan,
+// so the point set is chunk-partitioned across workers; the per-point
+// coefficients land in an indexed slice and are summed in point order,
+// making the result identical for every worker count. This is the exact
+// path (SilhouetteSampled with sample 0).
 func SilhouetteP(points [][]float64, assign []int, parallelism int) float64 {
-	// Group point indices by cluster and list clustered points in index
-	// order.
-	groups := map[int][]int{}
-	var clustered []int
-	for i, c := range assign {
-		if c != Noise {
-			groups[c] = append(groups[c], i)
-			clustered = append(clustered, i)
+	return SilhouetteSampled(points, assign, 0, parallelism)
+}
+
+// SilhouetteSampled computes the mean silhouette coefficient with the
+// per-point work decomposed into per-cluster distance sums: one pass
+// over the (possibly subsampled) member lists accumulates Σ d(i, C) for
+// every cluster C, from which a(i) = Σ d(i, own)/(|own|−1) and
+// b(i) = min over other C of Σ d(i, C)/|C| follow directly.
+//
+// sample <= 0 is the exact mode: all members participate and the result
+// is bit-identical to the classic all-pairs definition (the edge tests
+// lock its exact values). sample = S > 0 deterministically subsamples
+// every cluster larger than S to S evenly strided members (stride
+// spacing over the index-ordered member list, independent of the worker
+// count), making the kernel O(n·K·S) instead of O(n²). The sampled
+// coefficient is an approximation of the exact one: each mean distance
+// is estimated from S members, so on blob-like clusters the error of the
+// mean coefficient is typically under a few percent at S >= 64 and
+// shrinks as 1/√S; it is NOT exact, and callers that report silhouette
+// as a locked quality metric must keep sample at 0.
+func SilhouetteSampled(points [][]float64, assign []int, sample, parallelism int) float64 {
+	// Dense-number the clusters in ascending id order; member lists keep
+	// point-index order so every distance sum accumulates in a fixed
+	// order regardless of parallelism.
+	dense := map[int]int{}
+	var ids []int
+	for _, c := range assign {
+		if c == Noise {
+			continue
+		}
+		if _, ok := dense[c]; !ok {
+			dense[c] = 0
+			ids = append(ids, c)
 		}
 	}
-	if len(groups) < 2 {
+	if len(ids) < 2 {
 		return math.NaN()
 	}
+	sort.Ints(ids)
+	for di, id := range ids {
+		dense[id] = di
+	}
+	members := make([][]int, len(ids))
+	var clustered []int
+	for i, c := range assign {
+		if c == Noise {
+			continue
+		}
+		members[dense[c]] = append(members[dense[c]], i)
+		clustered = append(clustered, i)
+	}
+
+	// Optional deterministic subsample: evenly strided member picks.
+	eval := members
+	if sample > 0 {
+		eval = make([][]int, len(members))
+		for c, mem := range members {
+			if len(mem) <= sample {
+				eval[c] = mem
+				continue
+			}
+			sub := make([]int, sample)
+			for t := 0; t < sample; t++ {
+				sub[t] = mem[t*len(mem)/sample]
+			}
+			eval[c] = sub
+		}
+	}
+
+	nc := len(ids)
 	coeff := make([]float64, len(clustered))
 	parallel.ForEachChunk(len(clustered), parallelism, func(lo, hi int) {
+		sums := parallel.GetFloat64(nc)
+		defer parallel.PutFloat64(sums)
 		for ci := lo; ci < hi; ci++ {
 			i := clustered[ci]
-			c := assign[i]
-			members := groups[c]
-			// a = mean distance to own cluster.
-			var a float64
-			if len(members) > 1 {
-				for _, j := range members {
-					if i != j {
-						a += math.Sqrt(dist2(points[i], points[j]))
+			own := dense[assign[i]]
+			for c := range sums {
+				sums[c] = 0
+			}
+			selfSeen := false
+			for c, mem := range eval {
+				for _, j := range mem {
+					if j == i {
+						selfSeen = true
+						continue
 					}
+					sums[c] += math.Sqrt(dist2(points[i], points[j]))
 				}
-				a /= float64(len(members) - 1)
+			}
+			// a = mean distance to own cluster's (sampled) members.
+			var a float64
+			na := len(eval[own])
+			if selfSeen {
+				na--
+			}
+			if na > 0 {
+				a = sums[own] / float64(na)
 			}
 			// b = min over other clusters of mean distance.
 			b := math.Inf(1)
-			for oc, others := range groups {
-				if oc == c {
+			for c := range eval {
+				if c == own {
 					continue
 				}
-				var m float64
-				for _, j := range others {
-					m += math.Sqrt(dist2(points[i], points[j]))
-				}
-				m /= float64(len(others))
-				if m < b {
+				if m := sums[c] / float64(len(eval[c])); m < b {
 					b = m
 				}
 			}

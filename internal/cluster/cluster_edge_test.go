@@ -146,3 +146,28 @@ func TestClusterBurstsParallelismInvariant(t *testing.T) {
 		}
 	}
 }
+
+// TestClusterBurstsIndexInvariant extends the determinism guarantee to
+// the index knob: the full pipeline result — eps, K, silhouette, every
+// assignment — must be bit-identical for every neighbor-search mode at
+// every parallelism, because the k-d tree path is exact.
+func TestClusterBurstsIndexInvariant(t *testing.T) {
+	bursts := makeBursts()
+	base := ClusterBursts(append([]burst.Burst(nil), bursts...), Config{UseIPC: true, Parallelism: 1})
+	for _, mode := range []IndexMode{IndexAuto, IndexBrute, IndexKDTree} {
+		for _, par := range []int{1, 8} {
+			got := ClusterBursts(append([]burst.Burst(nil), bursts...),
+				Config{UseIPC: true, Parallelism: par, Index: mode})
+			if got.K != base.K || got.Eps != base.Eps || got.Silhouette != base.Silhouette {
+				t.Fatalf("mode=%v par=%d: K=%d eps=%.17g sil=%.17g, want K=%d eps=%.17g sil=%.17g",
+					mode, par, got.K, got.Eps, got.Silhouette, base.K, base.Eps, base.Silhouette)
+			}
+			for i := range base.Assign {
+				if got.Assign[i] != base.Assign[i] {
+					t.Fatalf("mode=%v par=%d: assignment %d differs: %d vs %d",
+						mode, par, i, got.Assign[i], base.Assign[i])
+				}
+			}
+		}
+	}
+}

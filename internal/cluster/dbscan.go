@@ -17,6 +17,11 @@ import (
 // Noise is the assignment id DBSCAN gives to points in no cluster.
 const Noise = 0
 
+// maxGridDim bounds the dimensionality the grid index supports: a probe
+// inspects 3^dim cells, so past a handful of dimensions the grid is
+// worthless anyway and DBSCANP falls back to brute-force neighbor scans.
+const maxGridDim = 16
+
 // DBSCAN clusters points (rows of equal dimension) with parameters eps
 // (neighborhood radius, Euclidean) and minPts (minimum neighborhood size
 // including the point itself to be a core point). The result assigns
@@ -31,12 +36,15 @@ func DBSCAN(points [][]float64, eps float64, minPts int) []int {
 
 // DBSCANP is DBSCAN with an explicit worker bound (0 = GOMAXPROCS). The
 // per-point neighbor lists — the dominant cost — are precomputed
-// concurrently against the read-only grid index; the cluster-expansion
-// pass that consumes them is inherently sequential (its queue order
-// defines the cluster ids) and walks the precomputed lists, so the
-// assignment is identical to the sequential algorithm's for every worker
-// count. The precomputation holds all n neighbor lists at once, the same
-// O(total neighbor count) the expansion pass would touch anyway.
+// concurrently against the read-only grid index into a CSR adjacency
+// (one counting pass, one fill pass, both chunk-parallel); the
+// cluster-expansion pass that consumes them is inherently sequential
+// (its queue order defines the cluster ids) and walks the precomputed
+// lists, so the assignment is identical to the sequential algorithm's
+// for every worker count. The CSR arrays and the expansion queue come
+// from pooled buffers and every neighbor query appends into
+// preallocated storage, so the precompute pass allocates nothing in
+// steady state beyond the grid's own hash table.
 func DBSCANP(points [][]float64, eps float64, minPts, parallelism int) []int {
 	n := len(points)
 	if n == 0 {
@@ -55,36 +63,67 @@ func DBSCANP(points [][]float64, eps float64, minPts, parallelism int) []int {
 		}
 	}
 
-	idx := newGridIndex(points, eps)
-	neighbors := make([][]int, n)
+	var grid *NeighborGrid
+	if dim <= maxGridDim {
+		grid = NewNeighborGrid(points, eps)
+	}
+
+	// Pass 1: per-point neighbor counts (including the point itself).
+	counts := parallel.GetInt32(n)
+	defer parallel.PutInt32(counts)
 	parallel.ForEachChunk(n, parallelism, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
-			neighbors[i] = idx.neighbors(i)
+			if grid != nil {
+				counts[i] = int32(grid.Count(i))
+			} else {
+				counts[i] = int32(bruteNeighborCount(points, i, eps))
+			}
+		}
+	})
+
+	// Prefix sums → CSR offsets; pass 2 fills the flat adjacency.
+	offsets := parallel.GetInt(n + 1)
+	defer parallel.PutInt(offsets)
+	offsets[0] = 0
+	for i := 0; i < n; i++ {
+		offsets[i+1] = offsets[i] + int(counts[i])
+	}
+	adj := parallel.GetInt32(offsets[n])
+	defer parallel.PutInt32(adj)
+	parallel.ForEachChunk(n, parallelism, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out := adj[offsets[i]:offsets[i]:offsets[i+1]]
+			if grid != nil {
+				grid.Append(i, out)
+			} else {
+				bruteNeighborAppend(points, i, eps, out)
+			}
 		}
 	})
 
 	assign := make([]int, n) // 0 = unvisited/noise
 	visited := make([]bool, n)
 	nextCluster := 0
-	var queue []int
+	queue := parallel.GetInt32(0)
+	defer parallel.PutInt32(queue)
 
 	for i := 0; i < n; i++ {
 		if visited[i] {
 			continue
 		}
 		visited[i] = true
-		if len(neighbors[i]) < minPts {
+		if offsets[i+1]-offsets[i] < minPts {
 			continue // noise (may be claimed by a cluster later)
 		}
 		nextCluster++
 		assign[i] = nextCluster
-		queue = append(queue[:0], neighbors[i]...)
+		queue = append(queue[:0], adj[offsets[i]:offsets[i+1]]...)
 		for qi := 0; qi < len(queue); qi++ {
-			j := queue[qi]
+			j := int(queue[qi])
 			if !visited[j] {
 				visited[j] = true
-				if len(neighbors[j]) >= minPts {
-					queue = append(queue, neighbors[j]...)
+				if offsets[j+1]-offsets[j] >= minPts {
+					queue = append(queue, adj[offsets[j]:offsets[j+1]]...)
 				}
 			}
 			if assign[j] == Noise {
@@ -95,70 +134,194 @@ func DBSCANP(points [][]float64, eps float64, minPts, parallelism int) []int {
 	return assign
 }
 
-// gridIndex hashes points into cells of side eps for neighborhood queries.
-type gridIndex struct {
+// NeighborGrid is the spatial index behind DBSCAN's neighborhood
+// queries: points hashed into uniform cells of side eps, cell
+// coordinates kept as packed int64 vectors in an open-addressing table
+// (power-of-two sized, linear probing, load factor <= 1/2), and the
+// points of each cell chained through a single next[] array — no
+// per-cell allocation, no string keys. Queries probe the 3^dim cells
+// adjacent to the query point's cell; Append writes matches into a
+// caller-provided buffer, so steady-state queries are allocation-free.
+// The index is immutable after construction and safe for concurrent
+// queries.
+type NeighborGrid struct {
 	points [][]float64
 	eps    float64
 	dim    int
-	cells  map[string][]int
-	keyBuf []int64
+	mask   uint32
+	coords []int64 // cell coordinates per slot (dim values each)
+	head   []int32 // first point of the slot's chain; -1 = empty slot
+	next   []int32 // next point in the same cell; -1 = end of chain
+	pow3   int
 }
 
-func newGridIndex(points [][]float64, eps float64) *gridIndex {
-	g := &gridIndex{
-		points: points,
-		eps:    eps,
-		dim:    len(points[0]),
-		cells:  make(map[string][]int, len(points)),
-		keyBuf: make([]int64, len(points[0])),
+// NewNeighborGrid indexes points into eps-cells. All points must share
+// one dimension, which must not exceed maxGridDim (16); eps must be
+// positive.
+func NewNeighborGrid(points [][]float64, eps float64) *NeighborGrid {
+	g := &NeighborGrid{points: points, eps: eps}
+	if len(points) == 0 {
+		return g
 	}
-	for i, p := range points {
-		k := g.cellKey(p, nil)
-		g.cells[k] = append(g.cells[k], i)
+	g.dim = len(points[0])
+	if g.dim > maxGridDim {
+		panic(fmt.Sprintf("cluster: NeighborGrid dimension %d exceeds %d", g.dim, maxGridDim))
+	}
+	g.pow3 = 1
+	for d := 0; d < g.dim; d++ {
+		g.pow3 *= 3
+	}
+	size := 8
+	for size < 2*len(points) {
+		size <<= 1
+	}
+	g.mask = uint32(size - 1)
+	g.coords = make([]int64, size*g.dim)
+	g.head = make([]int32, size)
+	for i := range g.head {
+		g.head[i] = -1
+	}
+	g.next = make([]int32, len(points))
+	// Insert in descending index order, prepending to each cell's chain,
+	// so chains list their points in ascending index order.
+	var cbuf [maxGridDim]int64
+	for i := len(points) - 1; i >= 0; i-- {
+		g.cellCoords(points[i], cbuf[:g.dim])
+		slot := g.findOrInsert(cbuf[:g.dim])
+		g.next[i] = g.head[slot]
+		g.head[slot] = int32(i)
 	}
 	return g
 }
 
-// cellKey encodes a point's cell coordinates (plus an optional offset per
-// dimension) as a compact string map key.
-func (g *gridIndex) cellKey(p []float64, off []int64) string {
-	buf := make([]byte, 0, g.dim*9)
-	for d := 0; d < g.dim; d++ {
-		c := int64(math.Floor(p[d] / g.eps))
-		if off != nil {
-			c += off[d]
-		}
-		for b := 0; b < 8; b++ {
-			buf = append(buf, byte(c>>(8*b)))
-		}
-		buf = append(buf, ':')
+// cellCoords writes the integer cell coordinates of p into out.
+func (g *NeighborGrid) cellCoords(p []float64, out []int64) {
+	for d := range out {
+		out[d] = int64(math.Floor(p[d] / g.eps))
 	}
-	return string(buf)
 }
 
-// neighbors returns indices of all points within eps of point i, including
-// i itself.
-func (g *gridIndex) neighbors(i int) []int {
-	p := g.points[i]
-	eps2 := g.eps * g.eps
-	var out []int
-	off := make([]int64, g.dim)
-	var walk func(d int)
-	walk = func(d int) {
-		if d == g.dim {
-			for _, j := range g.cells[g.cellKey(p, off)] {
-				if dist2(p, g.points[j]) <= eps2 {
-					out = append(out, j)
-				}
-			}
-			return
+// hashCells mixes a cell coordinate vector into a table hash
+// (splitmix64-style finalizer per coordinate).
+func hashCells(cs []int64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, c := range cs {
+		x := uint64(c) + h
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		h = x ^ (x >> 31)
+	}
+	return h
+}
+
+// findOrInsert returns the table slot for cell cs, claiming an empty
+// slot (and recording the coordinates) on first sight. Build-time only.
+func (g *NeighborGrid) findOrInsert(cs []int64) uint32 {
+	slot := uint32(hashCells(cs)) & g.mask
+	for {
+		if g.head[slot] == -1 {
+			copy(g.coords[int(slot)*g.dim:], cs)
+			return slot
 		}
-		for _, o := range [3]int64{-1, 0, 1} {
-			off[d] = o
-			walk(d + 1)
+		if g.slotMatches(slot, cs) {
+			return slot
+		}
+		slot = (slot + 1) & g.mask
+	}
+}
+
+// find returns the first point of cell cs's chain, or -1 when the cell
+// is unoccupied.
+func (g *NeighborGrid) find(cs []int64) int32 {
+	slot := uint32(hashCells(cs)) & g.mask
+	for {
+		h := g.head[slot]
+		if h == -1 {
+			return -1
+		}
+		if g.slotMatches(slot, cs) {
+			return h
+		}
+		slot = (slot + 1) & g.mask
+	}
+}
+
+func (g *NeighborGrid) slotMatches(slot uint32, cs []int64) bool {
+	stored := g.coords[int(slot)*g.dim : int(slot+1)*g.dim]
+	for d := range cs {
+		if stored[d] != cs[d] {
+			return false
 		}
 	}
-	walk(0)
+	return true
+}
+
+// Count returns how many points lie within eps of points[i], including
+// i itself. Allocation-free.
+func (g *NeighborGrid) Count(i int) int {
+	p := g.points[i]
+	eps2 := g.eps * g.eps
+	var base, cur [maxGridDim]int64
+	g.cellCoords(p, base[:g.dim])
+	n := 0
+	for c := 0; c < g.pow3; c++ {
+		x := c
+		for d := 0; d < g.dim; d++ {
+			cur[d] = base[d] + int64(x%3) - 1
+			x /= 3
+		}
+		for j := g.find(cur[:g.dim]); j != -1; j = g.next[j] {
+			if dist2(p, g.points[j]) <= eps2 {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Append appends the indices of all points within eps of points[i]
+// (including i itself) to out and returns the extended slice. With
+// sufficient capacity in out the query performs no allocation.
+func (g *NeighborGrid) Append(i int, out []int32) []int32 {
+	p := g.points[i]
+	eps2 := g.eps * g.eps
+	var base, cur [maxGridDim]int64
+	g.cellCoords(p, base[:g.dim])
+	for c := 0; c < g.pow3; c++ {
+		x := c
+		for d := 0; d < g.dim; d++ {
+			cur[d] = base[d] + int64(x%3) - 1
+			x /= 3
+		}
+		for j := g.find(cur[:g.dim]); j != -1; j = g.next[j] {
+			if dist2(p, g.points[j]) <= eps2 {
+				out = append(out, j)
+			}
+		}
+	}
+	return out
+}
+
+// bruteNeighborCount and bruteNeighborAppend are the O(n) per-query
+// fallback for dimensions beyond maxGridDim.
+func bruteNeighborCount(points [][]float64, i int, eps float64) int {
+	eps2 := eps * eps
+	n := 0
+	for j := range points {
+		if dist2(points[i], points[j]) <= eps2 {
+			n++
+		}
+	}
+	return n
+}
+
+func bruteNeighborAppend(points [][]float64, i int, eps float64, out []int32) []int32 {
+	eps2 := eps * eps
+	for j := range points {
+		if dist2(points[i], points[j]) <= eps2 {
+			out = append(out, int32(j))
+		}
+	}
 	return out
 }
 

@@ -1,0 +1,270 @@
+package cluster
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+// Property tests: the indexed kernels must agree with their brute-force
+// references on randomized inputs (fixed seeds). `make check` runs these
+// explicitly in addition to the ordinary test pass.
+
+// propPoints generates a randomized point set mixing dense blobs,
+// uniform background noise, and exact duplicates — the shapes that break
+// naive spatial indexes (ties, empty cells, heavy cells).
+func propPoints(rng *rand.Rand, n, dim int) [][]float64 {
+	pts := make([][]float64, 0, n)
+	for len(pts) < n {
+		switch rng.IntN(4) {
+		case 0: // uniform background
+			p := make([]float64, dim)
+			for d := range p {
+				p[d] = rng.Float64()
+			}
+			pts = append(pts, p)
+		case 1, 2: // dense blob
+			c := make([]float64, dim)
+			for d := range c {
+				c[d] = rng.Float64()
+			}
+			m := 1 + rng.IntN(20)
+			for j := 0; j < m && len(pts) < n; j++ {
+				p := make([]float64, dim)
+				for d := range p {
+					p[d] = c[d] + 0.02*rng.NormFloat64()
+				}
+				pts = append(pts, p)
+			}
+		case 3: // exact duplicates
+			p := make([]float64, dim)
+			for d := range p {
+				p[d] = rng.Float64()
+			}
+			m := 1 + rng.IntN(5)
+			for j := 0; j < m && len(pts) < n; j++ {
+				pts = append(pts, p)
+			}
+		}
+	}
+	return pts
+}
+
+// bruteKDist is the O(n) reference: sort all distances from point i and
+// take the k-th.
+func bruteKDist(pts [][]float64, i, k int) float64 {
+	dists := make([]float64, 0, len(pts)-1)
+	for j := range pts {
+		if j != i {
+			dists = append(dists, math.Sqrt(dist2(pts[i], pts[j])))
+		}
+	}
+	sort.Float64s(dists)
+	return dists[k-1]
+}
+
+func TestKNNPropertyMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewPCG(42, 7))
+	for trial := 0; trial < 15; trial++ {
+		n := 30 + rng.IntN(250)
+		dim := 1 + rng.IntN(3)
+		pts := propPoints(rng, n, dim)
+		tree := NewKDTree(pts)
+		scratch := make([]float64, 0, 16)
+		for _, k := range []int{1, 2, 4, 9} {
+			if k >= n {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				want := bruteKDist(pts, i, k)
+				got := tree.KNearestDist(i, k, scratch)
+				if got != want {
+					t.Fatalf("trial %d n=%d dim=%d: point %d k=%d: tree %.17g != brute %.17g",
+						trial, n, dim, i, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestAutoEpsPropertyIndexedMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewPCG(9, 13))
+	for trial := 0; trial < 6; trial++ {
+		// Above indexAutoMin so IndexAuto exercises the tree path too.
+		n := indexAutoMin + rng.IntN(600)
+		dim := 2 + rng.IntN(2)
+		pts := propPoints(rng, n, dim)
+		Normalize(pts)
+		k := 2 + rng.IntN(5)
+		want := AutoEpsMode(pts, k, 1, IndexBrute)
+		for _, mode := range []IndexMode{IndexKDTree, IndexAuto} {
+			for _, par := range []int{1, 3, 8} {
+				if got := AutoEpsMode(pts, k, par, mode); got != want {
+					t.Fatalf("trial %d n=%d dim=%d k=%d mode=%v par=%d: eps %.17g != brute %.17g",
+						trial, n, dim, k, mode, par, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestNeighborGridPropertyMatchesBrute(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 77))
+	for trial := 0; trial < 12; trial++ {
+		n := 20 + rng.IntN(200)
+		dim := 1 + rng.IntN(3)
+		pts := propPoints(rng, n, dim)
+		eps := 0.02 + 0.3*rng.Float64()
+		g := NewNeighborGrid(pts, eps)
+		var buf []int32
+		for i := 0; i < n; i++ {
+			want := bruteNeighborAppend(pts, i, eps, nil)
+			buf = g.Append(i, buf[:0])
+			if g.Count(i) != len(buf) {
+				t.Fatalf("trial %d: point %d Count %d != len(Append) %d", trial, i, g.Count(i), len(buf))
+			}
+			got := append([]int32(nil), buf...)
+			sort.Slice(got, func(a, b int) bool { return got[a] < got[b] })
+			if len(got) != len(want) {
+				t.Fatalf("trial %d: point %d grid found %d neighbors, brute %d", trial, i, len(got), len(want))
+			}
+			for x := range got {
+				if got[x] != want[x] {
+					t.Fatalf("trial %d: point %d neighbor sets differ: grid %v brute %v", trial, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestSilhouettePropertySampled(t *testing.T) {
+	pts, assign := blobs(4, 120, 3, 0.03, 17)
+	Normalize(pts)
+	exact := SilhouetteP(pts, assign, 1)
+
+	// A sample bound at or above every cluster size must take the exact
+	// path through the same code and reproduce the value bitwise.
+	if full := SilhouetteSampled(pts, assign, 120, 1); full != exact {
+		t.Fatalf("full-sample silhouette %.17g != exact %.17g", full, exact)
+	}
+	// A genuine subsample approximates the exact coefficient (documented
+	// tolerance: a few percent at S >= 64 on blob-like clusters).
+	sampled := SilhouetteSampled(pts, assign, 64, 1)
+	if math.IsNaN(sampled) || sampled < -1 || sampled > 1 {
+		t.Fatalf("sampled silhouette %.17g outside [-1, 1]", sampled)
+	}
+	if math.Abs(sampled-exact) > 0.05 {
+		t.Fatalf("sampled silhouette %.6f deviates from exact %.6f by more than 0.05", sampled, exact)
+	}
+	// The sampled path must stay parallelism-invariant bitwise.
+	for _, par := range []int{2, 3, 8} {
+		if got := SilhouetteSampled(pts, assign, 64, par); got != sampled {
+			t.Fatalf("p=%d: sampled silhouette %.17g != sequential %.17g", par, got, sampled)
+		}
+	}
+}
+
+func TestQuantileSelectPropertyMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewPCG(31, 3))
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.IntN(300)
+		xs := make([]float64, n)
+		for i := range xs {
+			if rng.IntN(3) == 0 {
+				xs[i] = float64(rng.IntN(4)) // masses of duplicates
+			} else {
+				xs[i] = rng.Float64()
+			}
+		}
+		sorted := append([]float64(nil), xs...)
+		sort.Float64s(sorted)
+		for _, nth := range []int{0, n / 2, n - 1, n * 99 / 100} {
+			work := append([]float64(nil), xs...)
+			if got := quantileSelect(work, nth); got != sorted[nth] {
+				t.Fatalf("trial %d n=%d nth=%d: quickselect %.17g != sorted %.17g", trial, n, nth, got, sorted[nth])
+			}
+		}
+	}
+}
+
+func TestQuantileSelectClamps(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if got := quantileSelect(append([]float64(nil), xs...), -5); got != 1 {
+		t.Fatalf("clamped low rank = %g, want 1", got)
+	}
+	if got := quantileSelect(append([]float64(nil), xs...), 99); got != 3 {
+		t.Fatalf("clamped high rank = %g, want 3", got)
+	}
+}
+
+// TestAutoEpsTinyN guards the percentile index clamp and the k clamp on
+// the smallest meaningful inputs, across every index mode.
+func TestAutoEpsTinyN(t *testing.T) {
+	for _, mode := range []IndexMode{IndexAuto, IndexBrute, IndexKDTree} {
+		// n=2: k clamps to 1, percentile index 2*99/100 = 1 <= n-1.
+		pts := [][]float64{{0, 0}, {3, 4}}
+		if got := AutoEpsMode(pts, 5, 1, mode); got != 5 {
+			t.Fatalf("mode %v: n=2 AutoEps = %g, want 5", mode, got)
+		}
+		// n=3 on a line: k=1 dists are {1,1,2}; index 2 → 2.
+		pts = [][]float64{{0}, {1}, {3}}
+		if got := AutoEpsMode(pts, 1, 1, mode); got != 2 {
+			t.Fatalf("mode %v: n=3 AutoEps = %g, want 2", mode, got)
+		}
+	}
+	// Degenerate inputs keep the documented fallbacks for every mode.
+	for _, mode := range []IndexMode{IndexAuto, IndexBrute, IndexKDTree} {
+		if got := AutoEpsMode(nil, 4, 1, mode); got != 0.1 {
+			t.Fatalf("mode %v: empty AutoEps = %g, want 0.1", mode, got)
+		}
+		if got := AutoEpsMode([][]float64{{1}}, 4, 1, mode); got != 0.1 {
+			t.Fatalf("mode %v: single-point AutoEps = %g, want 0.1", mode, got)
+		}
+	}
+}
+
+// TestDBSCANHighDimFallback drives the brute-force neighbor path used
+// when the dimensionality exceeds what the grid probes.
+func TestDBSCANHighDimFallback(t *testing.T) {
+	dim := maxGridDim + 1
+	var pts [][]float64
+	for g := 0; g < 2; g++ {
+		for j := 0; j < 6; j++ {
+			p := make([]float64, dim)
+			for d := range p {
+				p[d] = float64(g)*10 + 0.01*float64(j)
+			}
+			pts = append(pts, p)
+		}
+	}
+	assign := DBSCAN(pts, 1, 4)
+	for i := 1; i < 6; i++ {
+		if assign[i] != assign[0] || assign[i] == Noise {
+			t.Fatalf("group 0 split: %v", assign)
+		}
+	}
+	for i := 7; i < 12; i++ {
+		if assign[i] != assign[6] || assign[i] == Noise {
+			t.Fatalf("group 1 split: %v", assign)
+		}
+	}
+	if assign[0] == assign[6] {
+		t.Fatalf("distant groups merged: %v", assign)
+	}
+}
+
+func TestParseIndexMode(t *testing.T) {
+	for s, want := range map[string]IndexMode{
+		"auto": IndexAuto, "": IndexAuto, "brute": IndexBrute,
+		"kdtree": IndexKDTree, "kd": IndexKDTree, "tree": IndexKDTree,
+	} {
+		got, err := ParseIndexMode(s)
+		if err != nil || got != want {
+			t.Fatalf("ParseIndexMode(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseIndexMode("bogus"); err == nil {
+		t.Fatal("expected error for unknown mode")
+	}
+}

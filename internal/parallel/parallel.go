@@ -130,37 +130,64 @@ func Reduce[A any](n, p int, init func() A, body func(acc A, i int) A, merge fun
 	return out
 }
 
-// f64Pool recycles scratch slices so hot loops (k-dist buffers, pruning
-// scratch, per-rank aggregation) stop re-allocating on every call.
-var f64Pool = sync.Pool{
-	New: func() any {
-		s := make([]float64, 0, 256)
-		return &s
-	},
-}
+// slicePool recycles scratch slices of one element type so hot loops
+// (k-dist buffers, pruning scratch, per-rank aggregation, DBSCAN's CSR
+// neighbor storage) stop re-allocating on every call.
+type slicePool[T any] struct{ p sync.Pool }
 
-// GetFloat64 returns a zeroed scratch slice of length n from the pool.
-// Return it with PutFloat64 when done; the slice must not be retained or
-// put back twice. Safe for concurrent use.
-func GetFloat64(n int) []float64 {
-	sp := f64Pool.Get().(*[]float64)
-	s := *sp
+// get returns a zeroed slice of length n, reusing pooled capacity when
+// possible.
+func (sp *slicePool[T]) get(n int) []T {
+	var s []T
+	if v := sp.p.Get(); v != nil {
+		s = *(v.(*[]T))
+	}
 	if cap(s) < n {
-		s = make([]float64, n)
-	} else {
-		s = s[:n]
-		for i := range s {
-			s[i] = 0
-		}
+		return make([]T, n)
+	}
+	s = s[:n]
+	var zero T
+	for i := range s {
+		s[i] = zero
 	}
 	return s
 }
 
-// PutFloat64 returns a slice obtained from GetFloat64 to the pool.
-func PutFloat64(s []float64) {
+// put returns a slice obtained from get to the pool.
+func (sp *slicePool[T]) put(s []T) {
 	if cap(s) == 0 {
 		return
 	}
 	s = s[:0]
-	f64Pool.Put(&s)
+	sp.p.Put(&s)
 }
+
+var (
+	f64Pool   slicePool[float64]
+	intPool   slicePool[int]
+	int32Pool slicePool[int32]
+)
+
+// GetFloat64 returns a zeroed scratch slice of length n from the pool.
+// Return it with PutFloat64 when done; the slice must not be retained or
+// put back twice. Safe for concurrent use.
+func GetFloat64(n int) []float64 { return f64Pool.get(n) }
+
+// PutFloat64 returns a slice obtained from GetFloat64 to the pool.
+func PutFloat64(s []float64) { f64Pool.put(s) }
+
+// GetInt returns a zeroed []int scratch slice of length n from the pool;
+// same contract as GetFloat64.
+func GetInt(n int) []int { return intPool.get(n) }
+
+// PutInt returns a slice obtained from GetInt to the pool.
+func PutInt(s []int) { intPool.put(s) }
+
+// GetInt32 returns a zeroed []int32 scratch slice of length n from the
+// pool; same contract as GetFloat64. Index-heavy structures (neighbor
+// adjacency, work queues) use int32 to halve their footprint at the
+// million-point scale.
+func GetInt32(n int) []int32 { return int32Pool.get(n) }
+
+// PutInt32 returns a slice obtained from GetInt32 to the pool.
+func PutInt32(s []int32) { int32Pool.put(s) }

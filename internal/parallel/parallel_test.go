@@ -160,3 +160,39 @@ func TestFloat64PoolConcurrent(t *testing.T) {
 		PutFloat64(s)
 	})
 }
+
+func TestIntPoolsZeroedAndReusable(t *testing.T) {
+	// Dirty an int32 slice, recycle it, and check the pool hands back
+	// zeroed storage; same for []int.
+	s := GetInt32(64)
+	for i := range s {
+		s[i] = int32(i) + 1
+	}
+	PutInt32(s)
+	r := GetInt32(32)
+	for i, v := range r {
+		if v != 0 {
+			t.Fatalf("recycled int32 slice not zeroed at %d: %d", i, v)
+		}
+	}
+	PutInt32(r)
+
+	a := GetInt(50)
+	for i := range a {
+		a[i] = i + 1
+	}
+	PutInt(a)
+	b := GetInt(25)
+	for i, v := range b {
+		if v != 0 {
+			t.Fatalf("recycled int slice not zeroed at %d: %d", i, v)
+		}
+	}
+	PutInt(b)
+
+	// Zero-length requests and nil puts must not panic.
+	PutInt32(GetInt32(0))
+	PutInt32(nil)
+	PutInt(GetInt(0))
+	PutInt(nil)
+}
