@@ -1,9 +1,12 @@
 # Tiers:
 #   make test     — tier-1 (the gate every PR must keep green)
-#   make check    — tier-2: vet + race-enabled tests (catches data races in
-#                   the parallel analysis engine) + the property tests that
-#                   pin the indexed clustering kernels to their brute-force
-#                   references + a short fuzz run over the trace decoder
+#   make check    — tier-2: gofmt + vet + race-enabled tests (catches data
+#                   races in the parallel analysis engine) + the doc-comment
+#                   gate (internal/doccheck fails on undocumented exported
+#                   API) + the property tests that pin the indexed
+#                   clustering kernels to their brute-force references + a
+#                   short fuzz run over the trace decoder + a build of every
+#                   example the docs reference
 #   make bench    — run the benchmark suite and record a trajectory
 #                   snapshot in BENCH_<date>.json via cmd/benchjson (which
 #                   also diffs against the previous snapshot)
@@ -30,10 +33,13 @@ test:
 	$(GO) build ./... && $(GO) test ./...
 
 check:
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then echo "gofmt needed:"; echo "$$fmt"; exit 1; fi
 	$(GO) vet ./...
+	$(GO) test -count 1 ./internal/doccheck
 	$(GO) test -race ./...
 	$(GO) test -run 'Property' -count 1 ./internal/cluster
 	$(GO) test -run '^$$' -fuzz FuzzReadFrom -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) build ./examples/...
 
 bench:
 	BENCH_SCALE=$(BENCH_SCALE) $(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -timeout 60m . \

@@ -1,0 +1,109 @@
+// Command foldsvc is the long-running analysis daemon: it serves the
+// same trace analysis the fold CLI runs, over HTTP, with observability
+// built in — Prometheus-text metrics, structured logs, pprof, request
+// deadlines and graceful shutdown.
+//
+// Endpoints:
+//
+//	POST /v1/analyze    analyze an uploaded trace stream; the response is
+//	                    the JSON core.Report. Query parameters map the
+//	                    CLI knobs: online, train, parallel, phases, bins,
+//	                    model, counter, knn, sil_sample, stack_bins,
+//	                    min_pts, min_burst_us. With ?path=rel/trace.uvt
+//	                    (and -path-root set) the trace is read from a
+//	                    local file instead of the body.
+//	GET  /metrics       Prometheus text exposition
+//	GET  /healthz       liveness probe
+//	GET  /debug/pprof/  runtime profiling
+//
+// A typical session:
+//
+//	foldsvc -addr :8080 &
+//	tracegen -app stencil -o - | curl -sS --data-binary @- \
+//	    'http://localhost:8080/v1/analyze?online=1' | jq .Clustering.K
+//
+// Robustness: uploads beyond -max-body get 413; more than -jobs
+// concurrent analyses get 429 with Retry-After; every request is
+// panic-recovered; a cancelled client or an expired -deadline stops the
+// analysis pipeline mid-stream; SIGINT/SIGTERM drain in-flight requests
+// for up to -drain before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/foldsvc"
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		jobs     = flag.Int("jobs", 0, "max concurrent analyses before 429 backpressure (0 = GOMAXPROCS)")
+		par      = flag.Int("parallel", 0, "default per-analysis worker count (0 = all cores); requests override with ?parallel=")
+		maxBody  = flag.Int64("max-body", 256<<20, "max uploaded trace size in bytes (413 beyond)")
+		deadline = flag.Duration("deadline", 0, "per-request analysis deadline (0 = none)")
+		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget for in-flight requests")
+		pathRoot = flag.String("path-root", "", "directory ?path= trace references resolve under (empty disables local-path analysis)")
+		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
+		logJSON  = flag.Bool("log-json", false, "log JSON instead of text")
+	)
+	flag.Parse()
+
+	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel), *logJSON)
+	srv := foldsvc.NewServer(foldsvc.Config{
+		MaxBody:     *maxBody,
+		Jobs:        *jobs,
+		Parallelism: *par,
+		Deadline:    *deadline,
+		PathRoot:    *pathRoot,
+		Logger:      logger,
+	})
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	logger.Info("foldsvc listening", "addr", *addr, "jobs", srv.Capacity(),
+		"max_body", *maxBody, "deadline", *deadline)
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight analyses finish
+	// within the drain budget, then cut the remainder loose.
+	logger.Info("shutting down", "drain", *drain)
+	dctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		logger.Warn("drain budget exceeded, closing", "err", err)
+		hs.Close()
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fatal(err)
+	}
+	logger.Info("foldsvc stopped")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "foldsvc:", err)
+	os.Exit(1)
+}

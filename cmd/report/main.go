@@ -1,5 +1,5 @@
 // Command report regenerates the reconstructed evaluation: every table
-// (T1–T6) and figure (F1–F6) of EXPERIMENTS.md, written under -out.
+// (T1–T7) and figure (F1–F8) of EXPERIMENTS.md, written under -out.
 //
 // With -stream it instead renders an analysis report for a trace
 // consumed record by record (stdin when -in is empty), so tracegen

@@ -1,0 +1,107 @@
+// Service walkthrough: drive a foldsvc daemon end to end from Go.
+//
+// It starts the analysis service in-process (the same *server the
+// `foldsvc` binary runs), generates a trace with the simulator, uploads
+// it over HTTP exactly as a remote client would, and prints the phases
+// the service unveiled plus a few of its own metrics. No ports are
+// hard-coded and nothing is left running, so it works anywhere:
+//
+//	go run ./examples/service
+//
+// To talk to a real daemon instead, start one and use curl — see
+// examples/service/README.md for the command-by-command version.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+
+	"repro/internal/apps"
+	"repro/internal/foldsvc"
+	"repro/internal/sim"
+)
+
+func main() {
+	// 1. A service to talk to. The foldsvc binary serves the same
+	//    handler on a real port; here an httptest server keeps the
+	//    example self-contained.
+	svc := httptest.NewServer(foldsvc.NewServer(foldsvc.Config{}))
+	defer svc.Close()
+	fmt.Println("service listening at", svc.URL)
+
+	// 2. A trace to analyze. Normally this is a file a measurement tool
+	//    wrote; here the simulator produces one in memory.
+	app, err := apps.ByName("stencil", 150)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr, err := sim.Run(apps.DefaultTraceConfig(8), app)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var trace bytes.Buffer
+	if err := tr.Write(&trace); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated trace: %d bytes\n", trace.Len())
+
+	// 3. POST it. Query parameters are the analysis knobs — this run
+	//    restricts folding to the instruction counter and caps phases.
+	resp, err := http.Post(
+		svc.URL+"/v1/analyze?counter=PAPI_TOT_INS&phases=3", // nolint: bodyclose
+		"application/octet-stream", &trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		log.Fatalf("analyze: %s: %s", resp.Status, body)
+	}
+
+	// 4. The response is the JSON core.Report. Decode just what this
+	//    walkthrough prints; a real client would decode into
+	//    core.Report directly.
+	var rep struct {
+		App    string
+		Ranks  int
+		Bursts int
+		Phases []struct {
+			Instances int
+			MeanIPC   float64
+		}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("analyzed %s on %d ranks: %d bursts, %d phases\n",
+		rep.App, rep.Ranks, rep.Bursts, len(rep.Phases))
+	for i, ph := range rep.Phases {
+		fmt.Printf("  phase %d: %d instances, mean IPC %.2f\n",
+			i+1, ph.Instances, ph.MeanIPC)
+	}
+
+	// 5. The daemon watched itself do it. Scrape a few of its metrics.
+	mresp, err := http.Get(svc.URL + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	metrics, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("service metrics after one request:")
+	for _, line := range strings.Split(string(metrics), "\n") {
+		if strings.HasPrefix(line, "foldsvc_analyze_") ||
+			strings.HasPrefix(line, "foldsvc_requests_total") {
+			fmt.Println("  " + line)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"fmt"
+	"log/slog"
 	"math"
 	"sort"
 
@@ -44,6 +45,11 @@ type Config struct {
 	// reducing the kernel from O(n²) to O(n·K·S) at the cost of an
 	// approximate coefficient (see SilhouetteSampled).
 	SilhouetteSample int
+	// Logger, when non-nil, receives a structured record per clustering
+	// run (point count, chosen eps, K, silhouette) so long-running
+	// services can watch parameter selection live. It never affects the
+	// result.
+	Logger *slog.Logger
 }
 
 // IndexMode selects the neighbor-search implementation for the
@@ -306,6 +312,11 @@ func ClusterBursts(bursts []burst.Burst, cfg Config) Result {
 	}
 	res.K = len(ids)
 	res.Silhouette = SilhouetteSampled(res.Features, res.Assign, cfg.SilhouetteSample, cfg.Parallelism)
+	if cfg.Logger != nil {
+		cfg.Logger.Info("clustered bursts", "bursts", len(bursts),
+			"eps", res.Eps, "min_pts", res.MinPts, "clusters", res.K,
+			"silhouette", res.Silhouette)
+	}
 	return res
 }
 

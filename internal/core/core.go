@@ -10,7 +10,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"runtime"
 	"sort"
@@ -53,6 +55,12 @@ type Options struct {
 	Parallelism int
 	// Stream configures the streaming-specific behavior.
 	Stream StreamOptions
+	// Logger receives live structured progress from the analysis —
+	// per-stage completions at debug level, clustering and training
+	// outcomes at info level — so a service can observe a run before the
+	// Report exists. nil disables logging; the Report is identical either
+	// way.
+	Logger *slog.Logger
 }
 
 // StreamOptions selects how much the analysis may buffer. The zero value
@@ -83,6 +91,7 @@ func (o *Options) pipelineConfig() pipeline.Config {
 		Parallelism:      o.Parallelism,
 		Online:           o.Stream.Online,
 		TrainBursts:      o.Stream.TrainBursts,
+		Logger:           o.Logger,
 	}
 }
 
@@ -121,8 +130,10 @@ type Phase struct {
 	Instances int
 	// FoldInstances retains the folding instances (bursts + attached
 	// samples) so callers can re-fold with different configurations
-	// (ablations) without re-running the pipeline.
-	FoldInstances []folding.Instance
+	// (ablations) without re-running the pipeline. It is an in-memory
+	// handle, not part of the serialized Report (the daemon would
+	// otherwise ship every retained sample to the client).
+	FoldInstances []folding.Instance `json:"-"`
 	// TotalTime is the summed duration of all instances.
 	TotalTime trace.Time
 	// MeanDuration is the mean instance duration in ns.
@@ -200,13 +211,23 @@ type Report struct {
 // Analyze runs the full pipeline on an in-memory trace. It streams the
 // trace through the same stage implementations AnalyzeStream uses, so
 // the two are equivalent by construction (and verified deep-equal by
-// TestAnalyzeStreamEquivalence).
+// TestAnalyzeStreamEquivalence). It is AnalyzeContext with a background
+// context.
 func Analyze(tr *trace.Trace, opts Options) (*Report, error) {
+	return AnalyzeContext(context.Background(), tr, opts)
+}
+
+// AnalyzeContext is Analyze under a context: cancelling ctx stops the
+// pipeline stages at the next block boundary and returns ctx.Err()
+// (possibly wrapped; test with errors.Is). The analysis daemon uses
+// this to bound each request by its deadline and to abandon work when
+// the client disconnects.
+func AnalyzeContext(ctx context.Context, tr *trace.Trace, opts Options) (*Report, error) {
 	opts.setDefaults()
 	if err := tr.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	out, err := pipeline.Run(trace.NewTraceSource(tr), opts.pipelineConfig())
+	out, err := pipeline.RunContext(ctx, trace.NewTraceSource(tr), opts.pipelineConfig())
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/sim"
+)
+
+// stallingReader serves its buffered prefix and then blocks until ctx
+// is cancelled, returning the context error — the shape of an HTTP
+// request body whose client stopped sending and then disconnected.
+type stallingReader struct {
+	ctx  context.Context
+	data []byte
+	off  int
+}
+
+func (sr *stallingReader) Read(p []byte) (int, error) {
+	if sr.off < len(sr.data) {
+		n := copy(p, sr.data[sr.off:])
+		sr.off += n
+		return n, nil
+	}
+	<-sr.ctx.Done()
+	return 0, sr.ctx.Err()
+}
+
+// encodeTestTrace simulates a small app and returns the encoded trace.
+func encodeTestTrace(t *testing.T) []byte {
+	t.Helper()
+	app, err := apps.ByName("stencil", 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.Run(apps.DefaultTraceConfig(2), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestAnalyzeStreamContextCancelMidStream(t *testing.T) {
+	enc := encodeTestTrace(t)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	// Serve half the trace, then stall; cancel shortly after the
+	// pipeline has started consuming.
+	src := &stallingReader{ctx: ctx, data: enc[:len(enc)/2]}
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+
+	start := time.Now()
+	rep, err := AnalyzeStreamContext(ctx, src, Options{})
+	if err == nil {
+		t.Fatal("cancelled analysis returned no error")
+	}
+	if rep != nil {
+		t.Fatal("cancelled analysis returned a partial report")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not unwrap to context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v; the pipeline did not stop promptly", elapsed)
+	}
+}
+
+func TestAnalyzeStreamContextPreCancelled(t *testing.T) {
+	enc := encodeTestTrace(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := AnalyzeStreamContext(ctx, bytes.NewReader(enc), Options{})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled context: got %v, want context.Canceled", err)
+	}
+}
+
+func TestAnalyzeContextDeadline(t *testing.T) {
+	enc := encodeTestTrace(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Millisecond) // ensure the deadline has passed
+	_, err := AnalyzeStreamContext(ctx, bytes.NewReader(enc), Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: got %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestAnalyzeStreamContextCompletesUncancelled(t *testing.T) {
+	enc := encodeTestTrace(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	rep, err := AnalyzeStreamContext(ctx, bytes.NewReader(enc), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bursts == 0 {
+		t.Fatal("uncancelled context run produced an empty report")
+	}
+}

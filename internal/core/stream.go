@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -14,18 +15,51 @@ import (
 // default (exact) StreamOptions the resulting Report is deep-equal to
 // Analyze on the decoded trace; with Stream.Online set, memory stays
 // bounded by bursts + folding bins regardless of how many samples the
-// stream carries.
+// stream carries. It is AnalyzeStreamContext with a background context.
 func AnalyzeStream(r io.Reader, opts Options) (*Report, error) {
+	return AnalyzeStreamContext(context.Background(), r, opts)
+}
+
+// AnalyzeStreamContext is AnalyzeStream under a context: reads of r are
+// fenced by ctx and the pipeline stages stop at the next block boundary
+// once ctx is cancelled, so a disconnected client or an expired
+// deadline abandons the analysis promptly instead of draining the
+// stream. The returned error satisfies errors.Is against ctx.Err(); a
+// cancelled run never returns a partial Report.
+func AnalyzeStreamContext(ctx context.Context, r io.Reader, opts Options) (*Report, error) {
 	opts.setDefaults()
+	if ctx.Done() != nil {
+		r = &ctxReader{ctx: ctx, r: r}
+	}
 	sr, err := trace.NewStreamReader(r)
 	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("core: %w", cerr)
+		}
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	out, err := pipeline.Run(sr, opts.pipelineConfig())
+	out, err := pipeline.RunContext(ctx, sr, opts.pipelineConfig())
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	return assemble(out, opts), nil
+}
+
+// ctxReader fences each Read with a context check, so a decoder pulling
+// from an already-cancelled stream fails with the context's error
+// instead of blocking on the underlying reader. (A read already blocked
+// in the underlying reader is not interrupted; request bodies and other
+// network readers fail on their own when the peer goes away.)
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (cr *ctxReader) Read(p []byte) (int, error) {
+	if err := cr.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return cr.r.Read(p)
 }
 
 // assembleOnline builds the Report's phases from the pipeline's

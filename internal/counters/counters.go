@@ -38,6 +38,23 @@ func (c Counter) String() string {
 	return fmt.Sprintf("PAPI_UNKNOWN_%d", uint8(c))
 }
 
+// MarshalText renders the counter as its PAPI-style name, so JSON maps
+// keyed by Counter (the Report's per-counter folds) use readable keys
+// like "PAPI_TOT_INS" instead of raw enum numbers.
+func (c Counter) MarshalText() ([]byte, error) {
+	return []byte(c.String()), nil
+}
+
+// UnmarshalText parses a PAPI-style counter name, inverting MarshalText.
+func (c *Counter) UnmarshalText(text []byte) error {
+	v, err := ParseCounter(string(text))
+	if err != nil {
+		return err
+	}
+	*c = v
+	return nil
+}
+
 // ParseCounter resolves a PAPI-style name to a Counter.
 func ParseCounter(name string) (Counter, error) {
 	for c, n := range counterNames {

@@ -1,0 +1,429 @@
+// Package foldsvc implements the HTTP analysis daemon behind cmd/foldsvc:
+// an http.Handler that accepts trace uploads (or ?path= references under
+// a configured root), streams them through core.AnalyzeStreamContext with
+// per-request knobs mapped from query parameters, and answers with the
+// JSON core.Report. The handler carries its own observability — a
+// Prometheus-text /metrics registry, pprof endpoints, request
+// instrumentation — plus admission control (job semaphore → 429, body
+// size limit → 413) and cancellation when the client disconnects.
+//
+// The package is importable so tests and examples can run the exact
+// daemon in-process with httptest; cmd/foldsvc is a thin flag-parsing
+// wrapper around NewServer.
+package foldsvc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/counters"
+	"repro/internal/folding"
+	"repro/internal/obs"
+	"repro/internal/parallel"
+	"repro/internal/trace"
+)
+
+// Config collects the daemon's tunables; flags in main populate it and
+// tests construct it directly.
+type Config struct {
+	// MaxBody caps an uploaded trace in bytes; larger uploads get 413.
+	MaxBody int64
+	// Jobs bounds concurrent analyses; excess requests get 429.
+	Jobs int
+	// Parallelism is the per-analysis worker bound (core.Options
+	// Parallelism default for requests that do not set ?parallel=).
+	Parallelism int
+	// Deadline bounds each analysis; 0 means no server-side deadline.
+	Deadline time.Duration
+	// PathRoot, when non-empty, enables ?path= requests for trace files
+	// under this directory; "" disables local-path analysis entirely.
+	PathRoot string
+	// Logger receives the daemon's structured log stream.
+	Logger *slog.Logger
+}
+
+// Server is the analysis daemon: an http.Handler serving trace analysis,
+// metrics, health and profiling endpoints.
+type Server struct {
+	cfg   Config
+	reg   *obs.Registry
+	mux   *http.ServeMux
+	sem   chan struct{}
+	start time.Time
+
+	inflight  *obs.Gauge
+	cancelled *obs.Counter
+	panics    *obs.Counter
+}
+
+// NewServer wires the daemon's routes and metric families.
+func NewServer(cfg Config) *Server {
+	if cfg.MaxBody <= 0 {
+		cfg.MaxBody = 256 << 20
+	}
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.Discard()
+	}
+	s := &Server{
+		cfg:   cfg,
+		reg:   obs.NewRegistry(),
+		mux:   http.NewServeMux(),
+		sem:   make(chan struct{}, cfg.Jobs),
+		start: time.Now(),
+	}
+
+	s.inflight = s.reg.Gauge("foldsvc_inflight_jobs",
+		"Analyses currently running.")
+	s.cancelled = s.reg.Counter("foldsvc_cancelled_total",
+		"Analyses abandoned because the client disconnected or the deadline expired.")
+	s.panics = s.reg.Counter("foldsvc_panics_total",
+		"Requests that panicked and were recovered.")
+	s.reg.GaugeFunc("foldsvc_uptime_seconds",
+		"Seconds since the daemon started.", nil,
+		func() float64 { return time.Since(s.start).Seconds() })
+	s.reg.GaugeFunc("foldsvc_job_capacity",
+		"Maximum concurrent analyses before 429 backpressure.", nil,
+		func() float64 { return float64(cfg.Jobs) })
+	s.reg.GaugeFunc("go_goroutines",
+		"Live goroutine count.", nil,
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	// The scratch-slice pools are cumulative counters semantically, but
+	// they are sampled through callbacks, so they render as gauges.
+	for _, typ := range []string{"float64", "int", "int32"} {
+		typ := typ
+		s.reg.GaugeFunc("parallel_pool_gets",
+			"Cumulative scratch-slice checkouts from internal/parallel pools.",
+			obs.L("type", typ),
+			func() float64 { return float64(parallel.Pools()[typ].Gets) })
+		s.reg.GaugeFunc("parallel_pool_misses",
+			"Scratch-slice checkouts that had to allocate (pool miss).",
+			obs.L("type", typ),
+			func() float64 { return float64(parallel.Pools()[typ].Misses) })
+	}
+
+	s.mux.Handle("/v1/analyze", s.instrument("/v1/analyze", s.handleAnalyze))
+	s.mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
+	s.mux.Handle("/metrics", s.reg.Handler())
+	obs.RegisterPprof(s.mux)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Capacity reports the resolved concurrent-analysis bound (the Jobs
+// Config field after defaulting).
+func (s *Server) Capacity() int {
+	return cap(s.sem)
+}
+
+// statusWriter captures the response code for the request metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	sw.code = code
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with panic recovery, request counting and
+// a latency histogram, labeled by the route pattern (never the raw URL,
+// to keep label cardinality bounded).
+func (s *Server) instrument(route string, h http.HandlerFunc) http.Handler {
+	seconds := s.reg.Histogram("foldsvc_request_seconds",
+		"Request latency in seconds.", nil, obs.Label{Name: "path", Value: route})
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if v := recover(); v != nil {
+				s.panics.Inc()
+				s.cfg.Logger.Error("request panic", "path", route, "panic", v)
+				http.Error(sw, "internal error", http.StatusInternalServerError)
+			}
+			seconds.Observe(time.Since(start).Seconds())
+			s.reg.Counter("foldsvc_requests_total",
+				"Requests served, by route and status code.",
+				obs.Label{Name: "path", Value: route},
+				obs.Label{Name: "code", Value: strconv.Itoa(sw.code)}).Inc()
+		}()
+		h(sw, r)
+	})
+}
+
+// handleHealthz reports liveness.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleAnalyze runs one analysis request: the trace comes from the
+// request body (or a ?path= file under the configured root), the
+// analysis knobs from query parameters, and the response is the JSON
+// core.Report.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost && r.Method != http.MethodGet {
+		http.Error(w, "use POST (trace upload) or GET with ?path=", http.StatusMethodNotAllowed)
+		return
+	}
+
+	// Backpressure: a bounded job semaphore instead of an unbounded
+	// goroutine pile. Full means the caller should retry, not queue.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		w.Header().Set("Retry-After", "1")
+		s.reject(w, "capacity", "analysis capacity exhausted, retry later",
+			http.StatusTooManyRequests)
+		return
+	}
+	defer func() { <-s.sem }()
+	s.inflight.Inc()
+	defer s.inflight.Dec()
+
+	opts, err := optionsFromQuery(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if opts.Parallelism == 0 {
+		opts.Parallelism = s.cfg.Parallelism
+	}
+	opts.Logger = s.cfg.Logger
+
+	ctx := r.Context()
+	if s.cfg.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.Deadline)
+		defer cancel()
+	}
+
+	body := &limitTrackingReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)}
+	input := io.Reader(body)
+	src := "upload"
+	if p := r.URL.Query().Get("path"); p != "" {
+		f, status, err := s.openLocal(p)
+		if err != nil {
+			http.Error(w, err.Error(), status)
+			return
+		}
+		defer f.Close()
+		input = f
+		src = p
+	} else if r.Method == http.MethodGet {
+		http.Error(w, "GET requires ?path=; upload traces with POST", http.StatusBadRequest)
+		return
+	}
+
+	start := time.Now()
+	rep, err := core.AnalyzeStreamContext(ctx, input, opts)
+	if err != nil {
+		// Decode errors wrap the underlying read failure as text only,
+		// so a tripped upload limit must be recovered from the reader.
+		if body.limit != nil {
+			err = body.limit
+		}
+		s.analyzeError(w, r, src, err)
+		return
+	}
+	s.recordReport(rep)
+	s.cfg.Logger.Info("analysis done", "source", src, "app", rep.App,
+		"ranks", rep.Ranks, "bursts", rep.Bursts, "phases", len(rep.Phases),
+		"online", rep.Online, "wall", time.Since(start))
+
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(rep); err != nil {
+		// The report was computed; a failed write means the client left.
+		s.cfg.Logger.Debug("response write failed", "err", err)
+	}
+}
+
+// limitTrackingReader remembers whether the wrapped http.MaxBytesReader
+// tripped its limit, since decode layers may flatten the error chain.
+type limitTrackingReader struct {
+	r     io.Reader
+	limit *http.MaxBytesError
+}
+
+func (lt *limitTrackingReader) Read(p []byte) (int, error) {
+	n, err := lt.r.Read(p)
+	if err != nil && lt.limit == nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			lt.limit = tooBig
+		}
+	}
+	return n, err
+}
+
+// reject writes an error response and counts it under
+// foldsvc_rejected_total{reason}.
+func (s *Server) reject(w http.ResponseWriter, reason, msg string, code int) {
+	s.reg.Counter("foldsvc_rejected_total",
+		"Requests rejected before analysis, by reason.",
+		obs.Label{Name: "reason", Value: reason}).Inc()
+	http.Error(w, msg, code)
+}
+
+// analyzeError maps an analysis failure to a status code and metrics.
+func (s *Server) analyzeError(w http.ResponseWriter, r *http.Request, src string, err error) {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooBig):
+		s.reject(w, "body_too_large",
+			fmt.Sprintf("trace exceeds the %d-byte upload limit", tooBig.Limit),
+			http.StatusRequestEntityTooLarge)
+	case errors.Is(err, context.Canceled):
+		// The client is gone; the status code is for the metrics only
+		// (499 is the de-facto "client closed request" code).
+		s.cancelled.Inc()
+		s.cfg.Logger.Info("analysis cancelled", "source", src, "err", err)
+		w.WriteHeader(499)
+	case errors.Is(err, context.DeadlineExceeded):
+		s.cancelled.Inc()
+		s.reject(w, "deadline", "analysis deadline exceeded", http.StatusGatewayTimeout)
+	case errors.Is(err, trace.ErrBadFormat):
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	default:
+		s.cfg.Logger.Error("analysis failed", "source", src, "err", err)
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// recordReport folds a finished analysis into the throughput metrics.
+func (s *Server) recordReport(rep *core.Report) {
+	rec := func(kind string, n int64) {
+		s.reg.Counter("foldsvc_analyze_records_total",
+			"Trace records consumed by finished analyses, by kind.",
+			obs.Label{Name: "kind", Value: kind}).Add(float64(n))
+	}
+	rec("event", rep.Records.Events)
+	rec("sample", rep.Records.Samples)
+	rec("comm", rep.Records.Comms)
+	s.reg.Counter("foldsvc_analyze_bursts_total",
+		"Bursts extracted by finished analyses, by filter disposition.",
+		obs.Label{Name: "disposition", Value: "kept"}).Add(float64(rep.Bursts - rep.Filtered))
+	s.reg.Counter("foldsvc_analyze_bursts_total",
+		"Bursts extracted by finished analyses, by filter disposition.",
+		obs.Label{Name: "disposition", Value: "filtered"}).Add(float64(rep.Filtered))
+	s.reg.Counter("foldsvc_analyze_clusters_total",
+		"Clusters (detected phases) across finished analyses.").Add(float64(rep.Clustering.K))
+	s.reg.Counter("foldsvc_analyze_requests_total",
+		"Analyses that ran to completion.").Inc()
+}
+
+// openLocal resolves a ?path= request against the configured root,
+// refusing traversal outside it.
+func (s *Server) openLocal(p string) (*os.File, int, error) {
+	if s.cfg.PathRoot == "" {
+		return nil, http.StatusForbidden,
+			errors.New("local-path analysis is disabled (start foldsvc with -path-root)")
+	}
+	full := filepath.Join(s.cfg.PathRoot, filepath.Clean("/"+p))
+	f, err := os.Open(full)
+	if err != nil {
+		return nil, http.StatusNotFound, fmt.Errorf("open %s: %w", p, err)
+	}
+	return f, 0, nil
+}
+
+// optionsFromQuery maps the /v1/analyze query parameters onto
+// core.Options — the same knobs the fold CLI exposes as flags.
+//
+//	online=1 train=N parallel=N phases=N bins=N model=binned+pchip
+//	counter=PAPI_TOT_INS[,...] knn=auto|brute|kdtree sil_sample=N
+//	min_burst_us=N
+func optionsFromQuery(r *http.Request) (core.Options, error) {
+	q := r.URL.Query()
+	var opts core.Options
+
+	geti := func(name string) (int, bool, error) {
+		v := q.Get(name)
+		if v == "" {
+			return 0, false, nil
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return 0, false, fmt.Errorf("bad %s=%q: want a non-negative integer", name, v)
+		}
+		return n, true, nil
+	}
+
+	for name, dst := range map[string]*int{
+		"train":      &opts.Stream.TrainBursts,
+		"parallel":   &opts.Parallelism,
+		"phases":     &opts.MaxPhases,
+		"bins":       &opts.Fold.Bins,
+		"sil_sample": &opts.Cluster.SilhouetteSample,
+		"stack_bins": &opts.StackBins,
+		"min_pts":    &opts.Cluster.MinPts,
+	} {
+		n, ok, err := geti(name)
+		if err != nil {
+			return opts, err
+		}
+		if ok {
+			*dst = n
+		}
+	}
+	if n, ok, err := geti("min_burst_us"); err != nil {
+		return opts, err
+	} else if ok {
+		opts.MinBurstDuration = trace.Time(n) * 1000
+	}
+	if v := q.Get("online"); v != "" {
+		on, err := strconv.ParseBool(v)
+		if err != nil {
+			return opts, fmt.Errorf("bad online=%q: want a boolean", v)
+		}
+		opts.Stream.Online = on
+	}
+	if v := q.Get("knn"); v != "" {
+		mode, err := cluster.ParseIndexMode(v)
+		if err != nil {
+			return opts, err
+		}
+		opts.Cluster.Index = mode
+	}
+	switch v := q.Get("model"); v {
+	case "", "binned+pchip":
+		opts.Fold.Model = folding.ModelBinnedPCHIP
+	case "kernel":
+		opts.Fold.Model = folding.ModelKernel
+	case "binned":
+		opts.Fold.Model = folding.ModelBinned
+	default:
+		return opts, fmt.Errorf("bad model=%q: want binned+pchip, kernel or binned", v)
+	}
+	if v := q.Get("counter"); v != "" {
+		for _, name := range strings.Split(v, ",") {
+			c, err := counters.ParseCounter(strings.TrimSpace(name))
+			if err != nil {
+				return opts, err
+			}
+			opts.Counters = append(opts.Counters, c)
+		}
+	}
+	return opts, nil
+}

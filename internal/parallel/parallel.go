@@ -130,19 +130,38 @@ func Reduce[A any](n, p int, init func() A, body func(acc A, i int) A, merge fun
 	return out
 }
 
+// PoolStats is a snapshot of one scratch-slice pool's cumulative
+// activity: Gets and Puts count the checkout traffic, Misses the Gets
+// that had to allocate because no pooled slice was large enough. A
+// steady-state Miss rate near zero is what the pooled kernels are
+// designed for; the observability layer exposes these as gauges.
+type PoolStats struct {
+	Gets, Puts, Misses uint64
+}
+
 // slicePool recycles scratch slices of one element type so hot loops
 // (k-dist buffers, pruning scratch, per-rank aggregation, DBSCAN's CSR
 // neighbor storage) stop re-allocating on every call.
-type slicePool[T any] struct{ p sync.Pool }
+type slicePool[T any] struct {
+	p                  sync.Pool
+	gets, puts, misses atomic.Uint64
+}
+
+// stats snapshots the pool's cumulative counters.
+func (sp *slicePool[T]) stats() PoolStats {
+	return PoolStats{Gets: sp.gets.Load(), Puts: sp.puts.Load(), Misses: sp.misses.Load()}
+}
 
 // get returns a zeroed slice of length n, reusing pooled capacity when
 // possible.
 func (sp *slicePool[T]) get(n int) []T {
+	sp.gets.Add(1)
 	var s []T
 	if v := sp.p.Get(); v != nil {
 		s = *(v.(*[]T))
 	}
 	if cap(s) < n {
+		sp.misses.Add(1)
 		return make([]T, n)
 	}
 	s = s[:n]
@@ -158,8 +177,20 @@ func (sp *slicePool[T]) put(s []T) {
 	if cap(s) == 0 {
 		return
 	}
+	sp.puts.Add(1)
 	s = s[:0]
 	sp.p.Put(&s)
+}
+
+// Pools reports a snapshot of every scratch-slice pool's cumulative
+// statistics, keyed by element type name ("float64", "int", "int32").
+// The daemon's /metrics endpoint renders these as callback gauges.
+func Pools() map[string]PoolStats {
+	return map[string]PoolStats{
+		"float64": f64Pool.stats(),
+		"int":     intPool.stats(),
+		"int32":   int32Pool.stats(),
+	}
 }
 
 var (

@@ -1,7 +1,9 @@
 package pipeline
 
 import (
+	"context"
 	"io"
+	"log/slog"
 	"runtime"
 	"slices"
 	"sync"
@@ -64,6 +66,10 @@ type Config struct {
 	TrainBursts int
 	// BatchSize is the number of records per pipeline block (default 256).
 	BatchSize int
+	// Logger receives live structured progress (per-stage completions at
+	// debug level, clustering and training outcomes at info level). nil
+	// disables logging.
+	Logger *slog.Logger
 }
 
 func (c *Config) setDefaults() {
@@ -86,6 +92,9 @@ func (c *Config) setDefaults() {
 	}
 	if c.TrainBursts <= 0 {
 		c.TrainBursts = 512
+	}
+	if c.Cluster.Logger == nil {
+		c.Cluster.Logger = c.Logger
 	}
 	if c.BatchSize <= 0 {
 		c.BatchSize = 256
@@ -217,8 +226,17 @@ type instanceBuf struct {
 }
 
 // Run drives the full analysis pipeline over a record stream and blocks
-// until it completes.
+// until it completes. It is RunContext with a background context.
 func Run(src trace.Source, cfg Config) (*Outcome, error) {
+	return RunContext(context.Background(), src, cfg)
+}
+
+// RunContext is Run under a context: when ctx is cancelled the stages
+// stop at the next block boundary, blocked senders are released, and
+// the call returns ctx.Err(). This is what gives the analysis daemon
+// per-request deadlines and client-disconnect cancellation; a cancelled
+// run never returns a partial Outcome.
+func RunContext(ctx context.Context, src trace.Source, cfg Config) (*Outcome, error) {
 	cfg.setDefaults()
 	meta := src.Meta()
 	if err := meta.Validate(); err != nil {
@@ -228,11 +246,21 @@ func Run(src trace.Source, cfg Config) (*Outcome, error) {
 	a.prof, _ = profile.NewBuilder(meta.Ranks) // ranks >= 1 was validated
 
 	p := New()
+	p.Logger = cfg.Logger
+	stop := p.Watch(ctx)
+	defer stop()
 	blocks := a.decodeStage(p, src)
 	extracted := a.extractStage(p, blocks)
 	phased := a.phaseStage(p, extracted)
 	a.foldStage(p, phased)
 	if err := p.Wait(); err != nil {
+		// A cancelled context outranks whatever secondary error the
+		// cancellation provoked inside a stage (e.g. a read error wrapped
+		// as ErrBadFormat), so callers can rely on errors.Is(err,
+		// context.Canceled).
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		return nil, err
 	}
 	return a.outcome(p), nil
@@ -385,7 +413,14 @@ func (a *analysis) train() {
 	cl, err := online.Train(a.kept[:n], a.cfg.Cluster)
 	if err != nil {
 		a.trainErr = err
+		if a.cfg.Logger != nil {
+			a.cfg.Logger.Info("online training failed", "bursts", n, "err", err)
+		}
 		return
+	}
+	if a.cfg.Logger != nil {
+		a.cfg.Logger.Info("online classifier trained", "bursts", n,
+			"phases", cl.Training.K, "eps", cl.Training.Eps)
 	}
 	a.classifier = cl
 	for i := n; i < len(a.kept); i++ {

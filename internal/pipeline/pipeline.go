@@ -16,6 +16,8 @@
 package pipeline
 
 import (
+	"context"
+	"log/slog"
 	"sync"
 	"time"
 )
@@ -43,6 +45,11 @@ type Metrics struct {
 // unblock from full channels, and collects per-stage metrics in spawn
 // order.
 type Pipeline struct {
+	// Logger, when non-nil, receives a debug record per completed stage
+	// (name, records in/out, wall time) — the live view of the same
+	// counters the Report carries. Set it before the first Go call.
+	Logger *slog.Logger
+
 	wg      sync.WaitGroup
 	once    sync.Once
 	quit    chan struct{}
@@ -53,6 +60,27 @@ type Pipeline struct {
 // New creates an empty pipeline.
 func New() *Pipeline {
 	return &Pipeline{quit: make(chan struct{})}
+}
+
+// Watch ties the pipeline to ctx: when ctx is cancelled the pipeline
+// fails with ctx.Err(), which closes Quit and releases every sender
+// blocked on a full channel, so the stages drain and exit promptly.
+// The returned stop function releases the watcher goroutine; call it
+// once the pipeline is done (typically deferred next to Wait).
+func (p *Pipeline) Watch(ctx context.Context) (stop func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			p.fail(ctx.Err())
+		case <-done:
+		case <-p.quit:
+		}
+	}()
+	return func() { close(done) }
 }
 
 // Quit is closed when any stage fails; senders select on it so a dead
@@ -81,6 +109,11 @@ func (p *Pipeline) Go(name string, fn func(m *Metrics) error) {
 		m.Wall = time.Since(start)
 		if err != nil {
 			p.fail(err)
+		}
+		if p.Logger != nil {
+			p.Logger.Debug("stage done", "stage", name,
+				"records_in", m.RecordsIn, "records_out", m.RecordsOut,
+				"wall", m.Wall, "err", err)
 		}
 	}()
 }
