@@ -7,6 +7,11 @@
 #                   clustering kernels to their brute-force references + a
 #                   short fuzz run over the trace decoder + a build of every
 #                   example the docs reference
+#   make chaos    — the fault-injection suite under the race detector:
+#                   full traces driven through the batch, streaming and
+#                   HTTP analysis paths with truncation, bit-flips, short
+#                   reads, transient errors and stalls injected (also part
+#                   of make check)
 #   make bench    — run the benchmark suite and record a trajectory
 #                   snapshot in BENCH_<date>.json via cmd/benchjson (which
 #                   also diffs against the previous snapshot)
@@ -24,7 +29,7 @@ FUZZTIME  ?= 10s
 # clustering of a ~100k-burst trace (tracegen -preset bench-large).
 BENCH_SCALE ?=
 
-.PHONY: build test check bench benchmem
+.PHONY: build test check chaos bench benchmem
 
 build:
 	$(GO) build ./...
@@ -38,8 +43,13 @@ check:
 	$(GO) test -count 1 ./internal/doccheck
 	$(GO) test -race ./...
 	$(GO) test -run 'Property' -count 1 ./internal/cluster
-	$(GO) test -run '^$$' -fuzz FuzzReadFrom -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzReadFrom$$ -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzReadFromLenient -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) build ./examples/...
+	$(MAKE) chaos
+
+chaos:
+	$(GO) test -race -count 1 ./internal/faultinject/
 
 bench:
 	BENCH_SCALE=$(BENCH_SCALE) $(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -timeout 60m . \

@@ -16,8 +16,13 @@
 // Usage:
 //
 //	fold -in stencil.uvt [-counter PAPI_TOT_INS] [-bins 100] [-model binned+pchip]
-//	     [-phases 5] [-curves out_dir] [-iterations]
-//	fold -stream [-in stencil.uvt] [-online] [-train 512] [-stages]
+//	     [-phases 5] [-curves out_dir] [-iterations] [-lenient]
+//	fold -stream [-in stencil.uvt] [-online] [-train 512] [-stages] [-lenient]
+//
+// -lenient salvages damaged traces: undecodable records are skipped at
+// the decoder, validation failures are tolerated, and the analysis is
+// reported as DEGRADED with every concession itemized, instead of
+// aborting on the first fault.
 package main
 
 import (
@@ -53,10 +58,11 @@ func main() {
 		online     = flag.Bool("online", false, "with -stream: bounded-memory analysis (train-then-classify, incremental folding)")
 		train      = flag.Int("train", 0, "with -online: training-prefix length in bursts (0 = default 512)")
 		stages     = flag.Bool("stages", false, "with -stream: print per-stage pipeline metrics")
+		lenient    = flag.Bool("lenient", false, "salvage damaged traces: skip undecodable records, tolerate validation failures, and report the degradation instead of aborting")
 	)
 	flag.Parse()
 
-	opts := core.Options{MaxPhases: *phases, Parallelism: *par}
+	opts := core.Options{MaxPhases: *phases, Parallelism: *par, Lenient: *lenient}
 	index, err := cluster.ParseIndexMode(*knn)
 	if err != nil {
 		fatal(err)
@@ -104,7 +110,14 @@ func main() {
 		if *in == "" {
 			fatal(fmt.Errorf("missing -in"))
 		}
-		tr, err := trace.ReadFile(*in)
+		var tr *trace.Trace
+		var decodeStats trace.DecodeStats
+		var err error
+		if *lenient {
+			tr, decodeStats, err = trace.ReadFileLenient(*in)
+		} else {
+			tr, err = trace.ReadFile(*in)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -116,6 +129,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *lenient {
+			rep.NoteDecode(decodeStats)
+		}
 	}
 
 	mode := ""
@@ -126,6 +142,13 @@ func main() {
 		rep.App, rep.Ranks, rep.Bursts, rep.Filtered, rep.Clustering.K, mode)
 	if rep.TrainErr != "" {
 		fmt.Printf("online training failed: %s — no phases classified\n\n", rep.TrainErr)
+	}
+	if rep.Degraded {
+		fmt.Println("DEGRADED analysis — results carry concessions:")
+		for _, w := range rep.Warnings {
+			fmt.Println("  !", w)
+		}
+		fmt.Println()
 	}
 	if *stages {
 		printStages(rep)

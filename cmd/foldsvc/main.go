@@ -9,9 +9,11 @@
 //	                    the JSON core.Report. Query parameters map the
 //	                    CLI knobs: online, train, parallel, phases, bins,
 //	                    model, counter, knn, sil_sample, stack_bins,
-//	                    min_pts, min_burst_us. With ?path=rel/trace.uvt
-//	                    (and -path-root set) the trace is read from a
-//	                    local file instead of the body.
+//	                    min_pts, min_burst_us, lenient. With
+//	                    ?path=rel/trace.uvt (and -path-root set) the
+//	                    trace is read from a local file instead of the
+//	                    body. ?lenient=1 salvages damaged uploads and
+//	                    returns a Degraded report instead of a 400.
 //	GET  /metrics       Prometheus text exposition
 //	GET  /healthz       liveness probe
 //	GET  /debug/pprof/  runtime profiling
@@ -25,8 +27,9 @@
 // Robustness: uploads beyond -max-body get 413; more than -jobs
 // concurrent analyses get 429 with Retry-After; every request is
 // panic-recovered; a cancelled client or an expired -deadline stops the
-// analysis pipeline mid-stream; SIGINT/SIGTERM drain in-flight requests
-// for up to -drain before the process exits.
+// analysis pipeline mid-stream; an upload that goes quiet for -stall
+// without disconnecting gets 408; SIGINT/SIGTERM drain in-flight
+// requests for up to -drain before the process exits.
 package main
 
 import (
@@ -51,6 +54,7 @@ func main() {
 		par      = flag.Int("parallel", 0, "default per-analysis worker count (0 = all cores); requests override with ?parallel=")
 		maxBody  = flag.Int64("max-body", 256<<20, "max uploaded trace size in bytes (413 beyond)")
 		deadline = flag.Duration("deadline", 0, "per-request analysis deadline (0 = none)")
+		stall    = flag.Duration("stall", 0, "fail an analysis whose pipeline makes no progress for this long (408; 0 disables the watchdog)")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget for in-flight requests")
 		pathRoot = flag.String("path-root", "", "directory ?path= trace references resolve under (empty disables local-path analysis)")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
@@ -64,6 +68,7 @@ func main() {
 		Jobs:        *jobs,
 		Parallelism: *par,
 		Deadline:    *deadline,
+		Stall:       *stall,
 		PathRoot:    *pathRoot,
 		Logger:      logger,
 	})

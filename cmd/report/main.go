@@ -8,7 +8,11 @@
 // Usage:
 //
 //	report -out out [-ranks 16] [-iters 200] [-seed 1] [-only T2]
-//	report -stream [-in stencil.uvt] [-online]
+//	report -stream [-in stencil.uvt] [-online] [-lenient]
+//
+// -lenient (with -stream) salvages damaged traces: undecodable records
+// are skipped and the report is rendered DEGRADED with the concessions
+// listed, instead of aborting on the first fault.
 package main
 
 import (
@@ -26,18 +30,19 @@ import (
 
 func main() {
 	var (
-		out    = flag.String("out", "out", "output directory")
-		ranks  = flag.Int("ranks", 16, "simulated MPI ranks")
-		iters  = flag.Int("iters", 200, "application iterations")
-		seed   = flag.Uint64("seed", 1, "simulator seed")
-		only   = flag.String("only", "", "run a single experiment id (e.g. T2, F4)")
-		stream = flag.Bool("stream", false, "render an analysis report for a streamed trace instead of running experiments")
-		in     = flag.String("in", "", "with -stream: input trace file (stdin when empty or \"-\")")
-		online = flag.Bool("online", false, "with -stream: bounded-memory analysis (train-then-classify, incremental folding)")
+		out     = flag.String("out", "out", "output directory")
+		ranks   = flag.Int("ranks", 16, "simulated MPI ranks")
+		iters   = flag.Int("iters", 200, "application iterations")
+		seed    = flag.Uint64("seed", 1, "simulator seed")
+		only    = flag.String("only", "", "run a single experiment id (e.g. T2, F4)")
+		stream  = flag.Bool("stream", false, "render an analysis report for a streamed trace instead of running experiments")
+		in      = flag.String("in", "", "with -stream: input trace file (stdin when empty or \"-\")")
+		online  = flag.Bool("online", false, "with -stream: bounded-memory analysis (train-then-classify, incremental folding)")
+		lenient = flag.Bool("lenient", false, "with -stream: salvage damaged traces and render a DEGRADED report instead of aborting")
 	)
 	flag.Parse()
 	if *stream {
-		streamReport(*in, *online)
+		streamReport(*in, *online, *lenient)
 		return
 	}
 	env := experiments.Env{Ranks: *ranks, Iters: *iters, Seed: *seed}
@@ -90,7 +95,7 @@ func printArtifact(a *experiments.Artifact, dur time.Duration) {
 // streamReport analyzes a record stream and renders the result as a
 // single text report: summary, per-stage pipeline metrics, and a table
 // of the detected phases.
-func streamReport(in string, online bool) {
+func streamReport(in string, online, lenient bool) {
 	r := io.Reader(os.Stdin)
 	if in != "" && in != "-" {
 		f, err := os.Open(in)
@@ -100,7 +105,7 @@ func streamReport(in string, online bool) {
 		defer f.Close()
 		r = f
 	}
-	opts := core.Options{Stream: core.StreamOptions{Online: online}}
+	opts := core.Options{Stream: core.StreamOptions{Online: online}, Lenient: lenient}
 	rep, err := core.AnalyzeStream(r, opts)
 	if err != nil {
 		fatal(err)
@@ -118,6 +123,13 @@ func streamReport(in string, online bool) {
 		rep.Clustering.K, 100*rep.ClusterTimeCoverage, rep.SPMDScore)
 	if rep.TrainErr != "" {
 		fmt.Printf("online training failed: %s — no phases classified\n\n", rep.TrainErr)
+	}
+	if rep.Degraded {
+		fmt.Println("DEGRADED analysis — results carry concessions:")
+		for _, w := range rep.Warnings {
+			fmt.Println("  !", w)
+		}
+		fmt.Println()
 	}
 
 	st := &report.Table{

@@ -42,6 +42,9 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown preset %q (want %s)", *preset, apps.BenchLargeName))
 	}
+	if err := validateShape(*ranks, *iters); err != nil {
+		fatal(err)
+	}
 
 	app, err := apps.ByName(*appName, *iters)
 	if err != nil {
@@ -88,6 +91,19 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// validateShape rejects impossible workload shapes up front, with an
+// error naming the flag, instead of letting the simulator fail
+// obscurely (or spin) on a zero or negative size.
+func validateShape(ranks, iters int) error {
+	if ranks < 1 {
+		return fmt.Errorf("-ranks must be >= 1 (got %d)", ranks)
+	}
+	if iters < 1 {
+		return fmt.Errorf("-iters must be >= 1 (got %d)", iters)
+	}
+	return nil
 }
 
 func writePRV(tr *trace.Trace, base string) error {

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateShape(t *testing.T) {
+	cases := []struct {
+		name         string
+		ranks, iters int
+		wantErr      string // substring; "" means valid
+	}{
+		{"ok", 4, 100, ""},
+		{"min", 1, 1, ""},
+		{"zero ranks", 0, 100, "-ranks"},
+		{"negative ranks", -3, 100, "-ranks"},
+		{"zero iters", 4, 0, "-iters"},
+		{"negative iters", 4, -7, "-iters"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := validateShape(tc.ranks, tc.iters)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("validateShape(%d, %d) = %v, want nil", tc.ranks, tc.iters, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("validateShape(%d, %d) accepted an impossible shape", tc.ranks, tc.iters)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not name the offending flag %s", err, tc.wantErr)
+			}
+		})
+	}
+}

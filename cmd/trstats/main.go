@@ -7,8 +7,11 @@
 //
 // Usage:
 //
-//	trstats -in stencil.uvt
-//	trstats -stream [-in stencil.uvt]
+//	trstats -in stencil.uvt [-lenient]
+//	trstats -stream [-in stencil.uvt] [-lenient]
+//
+// -lenient salvages damaged traces: undecodable records are skipped
+// and the dropped-record summary is printed, instead of aborting.
 package main
 
 import (
@@ -27,19 +30,30 @@ import (
 
 func main() {
 	var (
-		in     = flag.String("in", "", "input trace file (required unless -stream, which defaults to stdin)")
-		minDur = flag.Float64("min-duration", 50, "burst duration filter in µs")
-		stream = flag.Bool("stream", false, "consume the trace record-by-record (stdin when -in is empty or \"-\")")
+		in      = flag.String("in", "", "input trace file (required unless -stream, which defaults to stdin)")
+		minDur  = flag.Float64("min-duration", 50, "burst duration filter in µs")
+		stream  = flag.Bool("stream", false, "consume the trace record-by-record (stdin when -in is empty or \"-\")")
+		lenient = flag.Bool("lenient", false, "salvage damaged traces: skip undecodable records and report what was dropped instead of aborting")
 	)
 	flag.Parse()
 	if *stream {
-		streamStats(*in, *minDur)
+		streamStats(*in, *minDur, *lenient)
 		return
 	}
 	if *in == "" {
 		fatal(fmt.Errorf("missing -in"))
 	}
-	tr, err := trace.ReadFile(*in)
+	var tr *trace.Trace
+	var err error
+	if *lenient {
+		var st trace.DecodeStats
+		tr, st, err = trace.ReadFileLenient(*in)
+		if err == nil {
+			printSalvage(st)
+		}
+	} else {
+		tr, err = trace.ReadFile(*in)
+	}
 	if err != nil {
 		fatal(err)
 	}
@@ -66,7 +80,7 @@ func main() {
 // streamStats produces the same first look from a record stream via the
 // analysis pipeline, skipping sample attachment (this tool never needs
 // the samples).
-func streamStats(in string, minDur float64) {
+func streamStats(in string, minDur float64, lenient bool) {
 	r := io.Reader(os.Stdin)
 	if in != "" && in != "-" {
 		f, err := os.Open(in)
@@ -76,7 +90,11 @@ func streamStats(in string, minDur float64) {
 		defer f.Close()
 		r = f
 	}
-	sr, err := trace.NewStreamReader(r)
+	mode := trace.Strict
+	if lenient {
+		mode = trace.Lenient
+	}
+	sr, err := trace.NewStreamReaderMode(r, mode)
 	if err != nil {
 		fatal(err)
 	}
@@ -84,20 +102,42 @@ func streamStats(in string, minDur float64) {
 		MinBurstDuration: trace.Time(minDur * 1e3),
 		Cluster:          cluster.Config{UseIPC: true},
 		NoSamples:        true,
+		Lenient:          lenient,
 	})
 	if err != nil {
 		fatal(err)
 	}
+	if out.Decode != nil {
+		printSalvage(*out.Decode)
+	}
 	fmt.Printf("%s: %d ranks, %.3f s, %d events, %d samples, %d comms\n\n",
 		out.Meta.App, out.Meta.Ranks, float64(out.Meta.Duration)/1e9,
 		out.Records.Events, out.Records.Samples, out.Records.Comms)
-	if out.Profile != nil {
+	switch {
+	case out.Profile != nil:
 		fmt.Print(out.Profile.Format())
-	} else {
+	case lenient:
+		// A salvaged trace often cannot profile (e.g. a rank truncated
+		// mid-MPI); degrade instead of aborting — the structural stats
+		// below still stand.
+		fmt.Printf("  ! flat profile unavailable: %s\n", out.ProfileErr)
+	default:
 		fatal(fmt.Errorf("%s", out.ProfileErr))
 	}
 	printIterations(out.Iterations)
 	printStructure(out.Kept, out.Clustering.K, out.Loops)
+}
+
+// printSalvage reports what a lenient decode had to drop.
+func printSalvage(st trace.DecodeStats) {
+	if !st.Degraded() {
+		return
+	}
+	fmt.Println("DEGRADED trace — salvage decoding made concessions:")
+	for _, w := range st.Warnings() {
+		fmt.Println("  !", w)
+	}
+	fmt.Println()
 }
 
 func printIterations(its structure.IterationStats) {

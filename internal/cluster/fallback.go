@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/burst"
+)
+
+// QuantileFallback is the degraded-mode substitute for DBSCAN: it splits
+// bursts into at most parts groups at duration-quantile boundaries, so an
+// analysis whose density clustering degenerates to zero clusters (sparse
+// salvaged data, pathological eps) still yields a usable phase structure
+// instead of an empty report. Groups are renumbered 1..K by decreasing
+// total burst time — the same contract as ClusterBursts — and every burst
+// is assigned (no noise). Eps/MinPts are zero and Silhouette is left 0
+// (not computed): the fallback makes no density claim.
+func QuantileFallback(bursts []burst.Burst, parts int) Result {
+	if parts < 2 {
+		parts = 2
+	}
+	res := Result{}
+	n := len(bursts)
+	if n == 0 {
+		return res
+	}
+
+	durs := make([]float64, n)
+	for i := range bursts {
+		durs[i] = float64(bursts[i].Duration())
+	}
+	sorted := append([]float64(nil), durs...)
+	sort.Float64s(sorted)
+
+	// Quantile edges; duplicates collapse so identical durations never
+	// straddle a boundary (and K shrinks accordingly).
+	edges := make([]float64, 0, parts-1)
+	for q := 1; q < parts; q++ {
+		e := sorted[q*n/parts]
+		if len(edges) == 0 || e > edges[len(edges)-1] {
+			edges = append(edges, e)
+		}
+	}
+
+	raw := make([]int, n)
+	for i, d := range durs {
+		g := 0
+		for _, e := range edges {
+			if d >= e {
+				g++
+			}
+		}
+		raw[i] = g
+	}
+
+	// Rank groups by total time, renumber 1..K (ClusterBursts contract).
+	totals := map[int]int64{}
+	for i, g := range raw {
+		totals[g] += int64(bursts[i].Duration())
+	}
+	ids := make([]int, 0, len(totals))
+	for id := range totals {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool {
+		if totals[ids[a]] != totals[ids[b]] {
+			return totals[ids[a]] > totals[ids[b]]
+		}
+		return ids[a] < ids[b]
+	})
+	remap := make(map[int]int, len(ids))
+	for newID, oldID := range ids {
+		remap[oldID] = newID + 1
+	}
+	res.Assign = make([]int, n)
+	for i, g := range raw {
+		res.Assign[i] = remap[g]
+		bursts[i].Cluster = remap[g]
+	}
+	res.K = len(ids)
+	res.Features = Features(bursts, false)
+	return res
+}

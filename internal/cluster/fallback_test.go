@@ -1,0 +1,71 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/burst"
+	"repro/internal/trace"
+)
+
+func fallbackBursts(durations []int64) []burst.Burst {
+	bs := make([]burst.Burst, len(durations))
+	for i, d := range durations {
+		bs[i].Rank = 0
+		bs[i].Start = 0
+		bs[i].End = trace.Time(d)
+	}
+	return bs
+}
+
+func TestQuantileFallbackSplitsByDuration(t *testing.T) {
+	bs := fallbackBursts([]int64{10, 12, 11, 1000, 1100, 1050})
+	res := QuantileFallback(bs, 2)
+	if res.K != 2 {
+		t.Fatalf("K = %d, want 2", res.K)
+	}
+	// The long-duration group dominates total time, so it must be
+	// cluster 1; all bursts are assigned (no noise).
+	for i, a := range res.Assign {
+		if a == Noise {
+			t.Fatalf("burst %d left as noise", i)
+		}
+		if a != bs[i].Cluster {
+			t.Fatalf("Assign[%d]=%d but bursts[%d].Cluster=%d", i, a, i, bs[i].Cluster)
+		}
+	}
+	for i, d := range []int64{10, 12, 11} {
+		_ = d
+		if res.Assign[i] != 2 {
+			t.Errorf("short burst %d assigned %d, want 2", i, res.Assign[i])
+		}
+	}
+	for i := 3; i < 6; i++ {
+		if res.Assign[i] != 1 {
+			t.Errorf("long burst %d assigned %d, want 1", i, res.Assign[i])
+		}
+	}
+	if res.Silhouette != 0 {
+		t.Errorf("fallback silhouette = %v, want 0 (not computed)", res.Silhouette)
+	}
+}
+
+func TestQuantileFallbackUniformDurations(t *testing.T) {
+	// Identical durations collapse every quantile edge: one group.
+	bs := fallbackBursts([]int64{50, 50, 50, 50})
+	res := QuantileFallback(bs, 3)
+	if res.K != 1 {
+		t.Fatalf("K = %d, want 1", res.K)
+	}
+	for i, a := range res.Assign {
+		if a != 1 {
+			t.Fatalf("Assign[%d] = %d, want 1", i, a)
+		}
+	}
+}
+
+func TestQuantileFallbackEmpty(t *testing.T) {
+	res := QuantileFallback(nil, 2)
+	if res.K != 0 || len(res.Assign) != 0 {
+		t.Fatalf("empty fallback: %+v", res)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"time"
 
 	"repro/internal/burst"
 	"repro/internal/cluster"
@@ -55,6 +56,19 @@ type Options struct {
 	Parallelism int
 	// Stream configures the streaming-specific behavior.
 	Stream StreamOptions
+	// Lenient selects degraded-tolerant analysis for imperfect traces:
+	// AnalyzeStream decodes in salvage mode (undecodable records are
+	// dropped and tallied in Report.Decode instead of aborting), Analyze
+	// tolerates a trace that fails validation, and a clustering that finds
+	// no phases falls back to a duration-quantile split. Every concession
+	// is itemized in Report.Warnings and flips Report.Degraded.
+	Lenient bool
+	// StallTimeout fails an analysis whose pipeline makes no progress for
+	// this long with an error wrapping pipeline.ErrStalled (0 disables
+	// the watchdog). It guards services against uploads that go quiet
+	// without disconnecting; size it well above the longest clustering
+	// pause expected for the trace sizes served.
+	StallTimeout time.Duration
 	// Logger receives live structured progress from the analysis —
 	// per-stage completions at debug level, clustering and training
 	// outcomes at info level — so a service can observe a run before the
@@ -91,6 +105,8 @@ func (o *Options) pipelineConfig() pipeline.Config {
 		Parallelism:      o.Parallelism,
 		Online:           o.Stream.Online,
 		TrainBursts:      o.Stream.TrainBursts,
+		Lenient:          o.Lenient,
+		StallTimeout:     o.StallTimeout,
 		Logger:           o.Logger,
 	}
 }
@@ -144,8 +160,11 @@ type Phase struct {
 	// counters that could not be folded are listed in FoldErrors instead.
 	Folds map[counters.Counter]*folding.Result
 	// FoldErrors records per-counter folding failures (e.g. a counter
-	// that never increments in this phase).
-	FoldErrors map[counters.Counter]error
+	// that never increments in this phase). Like FoldInstances it is an
+	// in-memory handle: error values do not survive a JSON round trip
+	// (they marshal as {} and cannot unmarshal), so the serialized Report
+	// carries the same information as strings in Warnings instead.
+	FoldErrors map[counters.Counter]error `json:"-"`
 	// Stacks is the folded call-stack view (nil when no samples carry
 	// stacks).
 	Stacks *folding.StackResult
@@ -162,6 +181,10 @@ type Phase struct {
 	OraclePurity   float64
 	// Advice lists heuristic performance observations for this phase.
 	Advice []string
+	// Warnings itemizes this phase's analysis concessions: counters whose
+	// fold failed to fit, or — if the phase's analysis panicked — the
+	// recovered panic (the rest of the report is unaffected either way).
+	Warnings []string `json:",omitempty"`
 }
 
 // Report is the full analysis of a trace.
@@ -206,6 +229,31 @@ type Report struct {
 	SPMDScore float64
 	// Phases analyzes the top clusters by total time.
 	Phases []Phase
+	// Degraded reports that the analysis completed with concessions —
+	// salvage decoding dropped records, a phase's analysis panicked, the
+	// clustering fell back to a quantile split, or the input trace failed
+	// validation — each itemized in Warnings. Per-counter fold-fit
+	// failures alone (Phase.FoldErrors/Phase.Warnings) do not set it;
+	// they are routine on counters that never tick in a phase.
+	Degraded bool `json:",omitempty"`
+	// Warnings itemizes every report-level degradation in a stable order:
+	// decode salvage first, then pipeline fallbacks, then phase failures.
+	Warnings []string `json:",omitempty"`
+	// Decode summarizes what lenient (salvage) decoding dropped; nil
+	// unless the trace was decoded with Options.Lenient set (or the stats
+	// were folded in via NoteDecode).
+	Decode *trace.DecodeStats `json:",omitempty"`
+}
+
+// NoteDecode folds a lenient decode's salvage summary into the report —
+// for batch tools that decoded the trace themselves (ReadFileLenient)
+// before calling Analyze; the streaming path records this automatically.
+func (r *Report) NoteDecode(st trace.DecodeStats) {
+	r.Decode = &st
+	if st.Degraded() {
+		r.Warnings = append(st.Warnings(), r.Warnings...)
+		r.Degraded = true
+	}
 }
 
 // Analyze runs the full pipeline on an in-memory trace. It streams the
@@ -224,14 +272,23 @@ func Analyze(tr *trace.Trace, opts Options) (*Report, error) {
 // the client disconnects.
 func AnalyzeContext(ctx context.Context, tr *trace.Trace, opts Options) (*Report, error) {
 	opts.setDefaults()
+	var valWarn string
 	if err := tr.Validate(); err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		if !opts.Lenient {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		valWarn = fmt.Sprintf("trace failed validation (%v); analyzing anyway", err)
 	}
 	out, err := pipeline.RunContext(ctx, trace.NewTraceSource(tr), opts.pipelineConfig())
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return assemble(out, opts), nil
+	rep := assemble(out, opts)
+	if valWarn != "" {
+		rep.Warnings = append([]string{valWarn}, rep.Warnings...)
+		rep.Degraded = true
+	}
+	return rep, nil
 }
 
 // assemble turns a pipeline outcome into the public Report.
@@ -255,8 +312,23 @@ func assemble(out *pipeline.Outcome, opts Options) *Report {
 		Loops:               out.Loops,
 		SPMDScore:           out.SPMDScore,
 	}
+	// Roll the pipeline's degradations up into the report: salvage-decode
+	// stats first, then pipeline-level warnings (clustering fallbacks).
+	if out.Decode != nil {
+		rep.NoteDecode(*out.Decode)
+	}
+	if len(out.Warnings) > 0 {
+		rep.Warnings = append(rep.Warnings, out.Warnings...)
+		rep.Degraded = true
+	}
+	// Silhouette is NaN for degenerate clusterings (<2 clusters, as the
+	// quantile fallback can produce); sanitize so the Report stays JSON-
+	// encodable (encoding/json rejects NaN).
+	if math.IsNaN(rep.Clustering.Silhouette) {
+		rep.Clustering.Silhouette = 0
+	}
 	if out.Online {
-		rep.Phases = assembleOnline(out, opts)
+		assembleOnline(rep, out, opts)
 		return rep
 	}
 	kept := out.Kept
@@ -267,15 +339,47 @@ func assemble(out *pipeline.Outcome, opts Options) *Report {
 	if nPhases > 0 {
 		// Each phase is analyzed independently against the read-only burst
 		// and sample sets and written to its own pre-sized slot, so the
-		// fan-out preserves ordering and determinism exactly.
+		// fan-out preserves ordering and determinism exactly. A panic in
+		// one phase's analysis is contained to its slot: the phase comes
+		// back as a stub carrying the recovered panic, the report is
+		// marked degraded, and every other phase is unaffected.
 		rep.Phases = make([]Phase, nPhases)
+		panics := make([]string, nPhases)
 		parallel.ForEach(nPhases, opts.Parallelism, func(idx int) {
 			cid := idx + 1
+			defer func() {
+				if r := recover(); r != nil {
+					panics[idx] = fmt.Sprintf("%v", r)
+					rep.Phases[idx] = failedPhase(cid, panics[idx])
+				}
+			}()
 			instances := folding.InstancesFromBursts(kept, out.Attached, cid)
 			rep.Phases[idx] = analyzePhase(&out.Meta, kept, instances, cid, opts)
 		})
+		notePhasePanics(rep, panics)
 	}
 	return rep
+}
+
+// failedPhase is the stub slot a panicked phase analysis leaves behind.
+func failedPhase(cid int, msg string) Phase {
+	return Phase{
+		ClusterID: cid,
+		Warnings:  []string{fmt.Sprintf("phase analysis failed: %s", msg)},
+	}
+}
+
+// notePhasePanics folds recovered per-phase panics into the report-level
+// warnings (in phase order, so the report stays deterministic).
+func notePhasePanics(rep *Report, panics []string) {
+	for idx, msg := range panics {
+		if msg == "" {
+			continue
+		}
+		rep.Warnings = append(rep.Warnings, fmt.Sprintf(
+			"phase %d analysis failed and was skipped: %s", idx+1, msg))
+		rep.Degraded = true
+	}
 }
 
 func analyzePhase(meta *trace.Metadata, kept []burst.Burst, instances []folding.Instance, cid int, opts Options) Phase {
@@ -301,6 +405,7 @@ func analyzePhase(meta *trace.Metadata, kept []burst.Burst, instances []folding.
 	for i, c := range opts.Counters {
 		if foldErrs[i] != nil {
 			ph.FoldErrors[c] = foldErrs[i]
+			ph.Warnings = append(ph.Warnings, fmt.Sprintf("fold %s: %v", c, foldErrs[i]))
 			continue
 		}
 		ph.Folds[c] = folds[i]

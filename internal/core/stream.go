@@ -31,7 +31,11 @@ func AnalyzeStreamContext(ctx context.Context, r io.Reader, opts Options) (*Repo
 	if ctx.Done() != nil {
 		r = &ctxReader{ctx: ctx, r: r}
 	}
-	sr, err := trace.NewStreamReader(r)
+	mode := trace.Strict
+	if opts.Lenient {
+		mode = trace.Lenient
+	}
+	sr, err := trace.NewStreamReaderMode(r, mode)
 	if err != nil {
 		if cerr := ctx.Err(); cerr != nil {
 			return nil, fmt.Errorf("core: %w", cerr)
@@ -67,14 +71,22 @@ func (cr *ctxReader) Read(p []byte) (int, error) {
 // the same code path as the offline assembly; only the folded views
 // differ (snapshots of running accumulators instead of offline fits over
 // retained instances), and FoldInstances stays nil since the stream
-// never kept the samples.
-func assembleOnline(out *pipeline.Outcome, opts Options) []Phase {
+// never kept the samples. Like the offline fan-out, a panic in one
+// phase's assembly is contained to its slot and noted on the report.
+func assembleOnline(rep *Report, out *pipeline.Outcome, opts Options) {
 	if len(out.OnlinePhases) == 0 {
-		return nil
+		return
 	}
 	phases := make([]Phase, len(out.OnlinePhases))
+	panics := make([]string, len(out.OnlinePhases))
 	parallel.ForEach(len(out.OnlinePhases), opts.Parallelism, func(i int) {
 		pf := out.OnlinePhases[i]
+		defer func() {
+			if r := recover(); r != nil {
+				panics[i] = fmt.Sprintf("%v", r)
+				phases[i] = failedPhase(pf.ClusterID, panics[i])
+			}
+		}()
 		ph := Phase{
 			ClusterID:  pf.ClusterID,
 			Folds:      pf.Folds,
@@ -85,5 +97,6 @@ func assembleOnline(out *pipeline.Outcome, opts Options) []Phase {
 		ph.Advice = advise(&out.Meta, &ph)
 		phases[i] = ph
 	})
-	return phases
+	rep.Phases = phases
+	notePhasePanics(rep, panics)
 }

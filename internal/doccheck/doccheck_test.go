@@ -25,6 +25,7 @@ var checkedPackages = []string{
 	"../pipeline",
 	"../obs",
 	"../foldsvc",
+	"../faultinject",
 }
 
 // missingDocs parses one package directory and returns a "file:line:

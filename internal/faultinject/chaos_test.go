@@ -1,0 +1,301 @@
+// Chaos suite: drives full traces through the batch, streaming, and
+// HTTP analysis paths under injected I/O faults and asserts the
+// system-wide robustness contract — every fault yields either a
+// degraded report with accurate salvage statistics or a cleanly
+// wrapped error; never a panic and never a hang.
+package faultinject_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/foldsvc"
+	"repro/internal/pipeline"
+	"repro/internal/sim"
+	"repro/internal/trace"
+)
+
+// encodedTrace simulates a featured run once and returns its encoding.
+func encodedTrace(t *testing.T) []byte {
+	t.Helper()
+	app, err := apps.ByName("stencil", 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.Run(apps.DefaultTraceConfig(2), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// headerLen locates the end of the UVT1 header (magic + uvarint length
+// + metadata JSON) so faults can target the record sections.
+func headerLen(t *testing.T, enc []byte) int64 {
+	t.Helper()
+	n, k := binary.Uvarint(enc[4:])
+	if k <= 0 {
+		t.Fatal("cannot parse the metadata length")
+	}
+	return int64(4 + k + int(n))
+}
+
+// hangGuard runs fn with a deadline; a hang is the one failure the
+// chaos contract can't tolerate at all.
+func hangGuard(t *testing.T, fn func() (*core.Report, error)) (*core.Report, error) {
+	t.Helper()
+	type result struct {
+		rep *core.Report
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		rep, err := fn()
+		done <- result{rep, err}
+	}()
+	select {
+	case r := <-done:
+		return r.rep, r.err
+	case <-time.After(60 * time.Second):
+		t.Fatal("analysis hung under fault injection")
+		return nil, nil
+	}
+}
+
+// checkContract asserts the robustness contract on one outcome: clean
+// error, or a report whose Degraded flag matches its decode stats.
+func checkContract(t *testing.T, rep *core.Report, err error) {
+	t.Helper()
+	if err != nil {
+		if rep != nil {
+			t.Error("error alongside a non-nil report")
+		}
+		return
+	}
+	if rep == nil {
+		t.Fatal("nil report without error")
+	}
+	if rep.Decode != nil {
+		damaged := rep.Decode.Dropped() > 0 || rep.Decode.Truncated || rep.Decode.BadSections > 0
+		if damaged && !rep.Degraded {
+			t.Errorf("decode damage %+v but report not Degraded", rep.Decode)
+		}
+		if damaged && len(rep.Warnings) == 0 {
+			t.Error("decode damage reported without warnings")
+		}
+	}
+	if rep.Degraded && len(rep.Warnings) == 0 {
+		t.Error("Degraded report carries no warnings")
+	}
+	// A degraded report must still serialize — the daemon ships JSON.
+	if _, err := json.Marshal(rep); err != nil {
+		t.Errorf("report does not marshal: %v", err)
+	}
+}
+
+// faultCases enumerates the reader faults the suite drives through
+// every path. Each returns a fresh faulted reader over enc.
+func faultCases(enc []byte, header int64) map[string]func() io.Reader {
+	n := int64(len(enc))
+	return map[string]func() io.Reader{
+		"truncate-25%": func() io.Reader { return faultinject.Truncate(bytes.NewReader(enc), n/4) },
+		"truncate-60%": func() io.Reader { return faultinject.Truncate(bytes.NewReader(enc), n*3/5) },
+		"truncate-95%": func() io.Reader { return faultinject.Truncate(bytes.NewReader(enc), n*19/20) },
+		"truncate-mid-header": func() io.Reader {
+			return faultinject.Truncate(bytes.NewReader(enc), header/2)
+		},
+		"bitflip-records-sparse": func() io.Reader {
+			return faultinject.BitFlip(bytes.NewReader(enc), 1, 509, header)
+		},
+		"bitflip-records-dense": func() io.Reader {
+			return faultinject.BitFlip(bytes.NewReader(enc), 2, 61, header)
+		},
+		"bitflip-everything": func() io.Reader {
+			return faultinject.BitFlip(bytes.NewReader(enc), 3, 127, 0)
+		},
+		"short-reads": func() io.Reader { return faultinject.ShortReads(bytes.NewReader(enc), 4) },
+		"short-reads+truncate": func() io.Reader {
+			return faultinject.ShortReads(faultinject.Truncate(bytes.NewReader(enc), n/2), 5)
+		},
+		"transient-errors": func() io.Reader {
+			return faultinject.TransientEvery(bytes.NewReader(enc), 37)
+		},
+		"empty": func() io.Reader { return bytes.NewReader(nil) },
+	}
+}
+
+func TestChaosStreamingAnalysis(t *testing.T) {
+	enc := encodedTrace(t)
+	header := headerLen(t, enc)
+	for name, mk := range faultCases(enc, header) {
+		for _, lenient := range []bool{false, true} {
+			mode := "strict"
+			if lenient {
+				mode = "lenient"
+			}
+			t.Run(name+"/"+mode, func(t *testing.T) {
+				rep, err := hangGuard(t, func() (*core.Report, error) {
+					return core.AnalyzeStream(mk(), core.Options{Lenient: lenient})
+				})
+				checkContract(t, rep, err)
+			})
+		}
+	}
+}
+
+func TestChaosBatchDecode(t *testing.T) {
+	enc := encodedTrace(t)
+	header := headerLen(t, enc)
+	for name, mk := range faultCases(enc, header) {
+		t.Run(name, func(t *testing.T) {
+			data, err := io.ReadAll(transientTolerant(mk()))
+			if err != nil {
+				t.Fatalf("reading faulted bytes: %v", err)
+			}
+			tr, st, err := trace.ReadFromLenient(bytes.NewReader(data))
+			if err != nil {
+				// Header-level damage stays fatal; the error must wrap the
+				// format sentinel, not escape as a panic or a raw io error.
+				if !errors.Is(err, trace.ErrBadFormat) && !errors.Is(err, io.ErrUnexpectedEOF) && !errors.Is(err, io.EOF) {
+					t.Fatalf("unwrapped decode error: %v", err)
+				}
+				return
+			}
+			// Whatever was salvaged must analyze end to end.
+			rep, aerr := hangGuard(t, func() (*core.Report, error) {
+				rep, aerr := core.Analyze(tr, core.Options{Lenient: true})
+				if aerr == nil {
+					rep.NoteDecode(st)
+				}
+				return rep, aerr
+			})
+			checkContract(t, rep, aerr)
+			if aerr == nil && st.Degraded() && !rep.Degraded {
+				t.Error("salvage damage lost on the batch path")
+			}
+		})
+	}
+}
+
+// transientTolerant retries reads through injected transient failures
+// so the batch path (which needs all bytes up front) can proceed.
+func transientTolerant(r io.Reader) io.Reader {
+	return readerFunc(func(p []byte) (int, error) {
+		for {
+			n, err := r.Read(p)
+			if errors.Is(err, faultinject.ErrTransient) && n == 0 {
+				continue
+			}
+			return n, err
+		}
+	})
+}
+
+type readerFunc func(p []byte) (int, error)
+
+func (f readerFunc) Read(p []byte) (int, error) { return f(p) }
+
+func TestChaosHTTPUploads(t *testing.T) {
+	enc := encodedTrace(t)
+	header := headerLen(t, enc)
+	srv := httptest.NewServer(foldsvc.NewServer(foldsvc.Config{}))
+	defer srv.Close()
+
+	for name, mk := range faultCases(enc, header) {
+		t.Run(name, func(t *testing.T) {
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				resp, err := http.Post(srv.URL+"/v1/analyze?lenient=1",
+					"application/octet-stream", mk())
+				if err != nil {
+					// A transport-level abort (the faulted body reader
+					// erred mid-upload) is a clean client-side failure.
+					return
+				}
+				defer resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					var rep core.Report
+					if derr := json.NewDecoder(resp.Body).Decode(&rep); derr != nil {
+						t.Errorf("200 with undecodable report: %v", derr)
+						return
+					}
+					checkContract(t, &rep, nil)
+				case resp.StatusCode >= 400 && resp.StatusCode < 600:
+					// Rejected cleanly.
+				default:
+					t.Errorf("unexpected status %d", resp.StatusCode)
+				}
+			}()
+			select {
+			case <-done:
+			case <-time.After(60 * time.Second):
+				t.Fatal("HTTP upload hung under fault injection")
+			}
+		})
+	}
+	// The server must have survived every fault.
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("daemon unhealthy after chaos: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestChaosSalvageAccuracy(t *testing.T) {
+	// A 60% truncation must report Truncated with a plausible drop count,
+	// and the salvaged record totals must stay below the originals.
+	enc := encodedTrace(t)
+	full, err := trace.ReadFrom(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := hangGuard(t, func() (*core.Report, error) {
+		r := faultinject.Truncate(bytes.NewReader(enc), int64(len(enc))*3/5)
+		return core.AnalyzeStream(r, core.Options{Lenient: true})
+	})
+	if err != nil {
+		t.Fatalf("salvage failed: %v", err)
+	}
+	if !rep.Degraded || rep.Decode == nil || !rep.Decode.Truncated {
+		t.Fatalf("truncation not reported: degraded=%v decode=%+v", rep.Degraded, rep.Decode)
+	}
+	kept := rep.Records.Events + rep.Records.Samples + rep.Records.Comms
+	total := int64(len(full.Events) + len(full.Samples) + len(full.Comms))
+	if kept == 0 || kept >= total {
+		t.Fatalf("salvaged %d of %d records, want a proper prefix", kept, total)
+	}
+}
+
+func TestChaosStallWatchdog(t *testing.T) {
+	enc := encodedTrace(t)
+	sr := faultinject.Stall(bytes.NewReader(enc), int64(len(enc))/2)
+	defer sr.Release()
+	rep, err := hangGuard(t, func() (*core.Report, error) {
+		return core.AnalyzeStream(sr, core.Options{
+			Lenient:      true,
+			StallTimeout: 200 * time.Millisecond,
+		})
+	})
+	if err == nil {
+		t.Fatalf("stalled stream produced a report: %+v", rep.Records)
+	}
+	if !errors.Is(err, pipeline.ErrStalled) {
+		t.Fatalf("err = %v, want pipeline.ErrStalled", err)
+	}
+}

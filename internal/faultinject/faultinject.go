@@ -1,0 +1,225 @@
+// Package faultinject provides deterministic I/O fault wrappers for
+// robustness testing: readers and writers that truncate, corrupt, chop,
+// or intermittently fail a byte stream in a seeded, reproducible way.
+// The chaos suite drives full traces through the analysis paths (batch,
+// streaming, HTTP) under these faults and asserts the system's
+// contract: a damaged input produces either a degraded report with
+// accurate salvage statistics or a cleanly wrapped error — never a
+// panic and never a hang. Because every wrapper is deterministic for a
+// given seed, any failure it provokes replays exactly.
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// ErrTransient is the error injected by TransientEvery and
+// TransientWriter — the shape of a recoverable I/O hiccup (a dropped
+// connection, an EAGAIN surfaced as an error). Consumers that retry
+// can test with errors.Is.
+var ErrTransient = errors.New("faultinject: transient failure")
+
+// rng is a splitmix64 generator: tiny, seedable, and deterministic, so
+// every injected fault pattern replays exactly from its seed.
+type rng struct{ state uint64 }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Truncate returns a reader that serves the first n bytes of r and then
+// reports io.EOF — a transfer cut mid-stream without any error at the
+// transport layer, the hardest truncation for a decoder to notice.
+func Truncate(r io.Reader, n int64) io.Reader {
+	return &truncateReader{r: r, left: n}
+}
+
+type truncateReader struct {
+	r    io.Reader
+	left int64
+}
+
+func (t *truncateReader) Read(p []byte) (int, error) {
+	if t.left <= 0 {
+		return 0, io.EOF
+	}
+	if int64(len(p)) > t.left {
+		p = p[:t.left]
+	}
+	n, err := t.r.Read(p)
+	t.left -= int64(n)
+	return n, err
+}
+
+// BitFlip returns a reader that flips one seed-chosen bit in every
+// every-th byte served, starting after skip bytes (so a format header
+// can be left intact when the test targets record payloads). every < 1
+// is treated as 1.
+func BitFlip(r io.Reader, seed uint64, every int, skip int64) io.Reader {
+	if every < 1 {
+		every = 1
+	}
+	return &bitFlipReader{r: r, rng: rng{state: seed}, every: int64(every), skip: skip}
+}
+
+type bitFlipReader struct {
+	r     io.Reader
+	rng   rng
+	every int64
+	skip  int64
+	pos   int64
+}
+
+func (b *bitFlipReader) Read(p []byte) (int, error) {
+	n, err := b.r.Read(p)
+	for i := 0; i < n; i++ {
+		pos := b.pos + int64(i)
+		if pos >= b.skip && (pos-b.skip)%b.every == 0 {
+			p[i] ^= 1 << (b.rng.next() % 8)
+		}
+	}
+	b.pos += int64(n)
+	return n, err
+}
+
+// ShortReads returns a reader that serves r in seed-chosen chunks of
+// 1..8 bytes regardless of the buffer offered — the pathological
+// fragmentation of a congested network stream. Contents are unchanged;
+// only read boundaries move.
+func ShortReads(r io.Reader, seed uint64) io.Reader {
+	return &shortReader{r: r, rng: rng{state: seed}}
+}
+
+type shortReader struct {
+	r   io.Reader
+	rng rng
+}
+
+func (s *shortReader) Read(p []byte) (int, error) {
+	if len(p) == 0 {
+		return s.r.Read(p)
+	}
+	max := int(s.rng.next()%8) + 1
+	if len(p) > max {
+		p = p[:max]
+	}
+	return s.r.Read(p)
+}
+
+// TransientEvery returns a reader whose every n-th Read call fails with
+// ErrTransient instead of reading; the intervening calls pass through.
+// n < 1 is treated as 1 (every call fails). The data itself is never
+// consumed by a failing call, so a retrying consumer loses nothing.
+func TransientEvery(r io.Reader, n int) io.Reader {
+	if n < 1 {
+		n = 1
+	}
+	return &transientReader{r: r, every: n}
+}
+
+type transientReader struct {
+	r     io.Reader
+	every int
+	calls int
+}
+
+func (t *transientReader) Read(p []byte) (int, error) {
+	t.calls++
+	if t.calls%t.every == 0 {
+		return 0, ErrTransient
+	}
+	return t.r.Read(p)
+}
+
+// Stall returns a reader that serves the first n bytes of r normally
+// and then blocks every subsequent Read until Release is called — an
+// upload that goes quiet without disconnecting. Tests must call (or
+// defer) Release to unblock any goroutine abandoned mid-read.
+func Stall(r io.Reader, n int64) *StallReader {
+	return &StallReader{r: r, left: n, release: make(chan struct{})}
+}
+
+// StallReader is the reader returned by Stall; see Stall for semantics.
+type StallReader struct {
+	r       io.Reader
+	left    int64
+	release chan struct{}
+	once    sync.Once
+}
+
+// Release unblocks every pending and future Read; after it, reads pass
+// through to the underlying reader again. Safe to call more than once.
+func (s *StallReader) Release() { s.once.Do(func() { close(s.release) }) }
+
+// Read implements io.Reader.
+func (s *StallReader) Read(p []byte) (int, error) {
+	if s.left <= 0 {
+		<-s.release
+		return s.r.Read(p)
+	}
+	if int64(len(p)) > s.left {
+		p = p[:s.left]
+	}
+	n, err := s.r.Read(p)
+	s.left -= int64(n)
+	return n, err
+}
+
+// TruncateWriter returns a writer that accepts the first n bytes and
+// fails every write past them with io.ErrShortWrite — a disk that
+// filled up or a receiver that went away mid-transfer.
+func TruncateWriter(w io.Writer, n int64) io.Writer {
+	return &truncateWriter{w: w, left: n}
+}
+
+type truncateWriter struct {
+	w    io.Writer
+	left int64
+}
+
+func (t *truncateWriter) Write(p []byte) (int, error) {
+	if t.left <= 0 {
+		return 0, io.ErrShortWrite
+	}
+	if int64(len(p)) > t.left {
+		n, err := t.w.Write(p[:t.left])
+		t.left -= int64(n)
+		if err == nil {
+			err = io.ErrShortWrite
+		}
+		return n, err
+	}
+	n, err := t.w.Write(p)
+	t.left -= int64(n)
+	return n, err
+}
+
+// TransientWriter returns a writer whose every n-th Write call fails
+// with ErrTransient without consuming the payload; the intervening
+// calls pass through. n < 1 is treated as 1.
+func TransientWriter(w io.Writer, n int) io.Writer {
+	if n < 1 {
+		n = 1
+	}
+	return &transientWriter{w: w, every: n}
+}
+
+type transientWriter struct {
+	w     io.Writer
+	every int
+	calls int
+}
+
+func (t *transientWriter) Write(p []byte) (int, error) {
+	t.calls++
+	if t.calls%t.every == 0 {
+		return 0, ErrTransient
+	}
+	return t.w.Write(p)
+}

@@ -1,0 +1,175 @@
+package faultinject
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+)
+
+func payload(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(i)
+	}
+	return b
+}
+
+func TestTruncateStopsAtN(t *testing.T) {
+	src := payload(100)
+	got, err := io.ReadAll(Truncate(bytes.NewReader(src), 37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, src[:37]) {
+		t.Fatalf("got %d bytes, want the first 37 unchanged", len(got))
+	}
+}
+
+func TestTruncateBeyondSourceIsHarmless(t *testing.T) {
+	src := payload(10)
+	got, err := io.ReadAll(Truncate(bytes.NewReader(src), 1000))
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatalf("got %d bytes, err %v", len(got), err)
+	}
+}
+
+func TestBitFlipDeterministicAndTargeted(t *testing.T) {
+	src := payload(64)
+	read := func() []byte {
+		got, err := io.ReadAll(BitFlip(bytes.NewReader(src), 42, 10, 8))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a, b := read(), read()
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed produced different corruption")
+	}
+	if !bytes.Equal(a[:8], src[:8]) {
+		t.Fatal("skip region was corrupted")
+	}
+	flipped := 0
+	for i := 8; i < len(src); i++ {
+		if a[i] != src[i] {
+			flipped++
+			if bits := a[i] ^ src[i]; bits&(bits-1) != 0 {
+				t.Fatalf("byte %d has %08b flipped, want a single bit", i, bits)
+			}
+			if (i-8)%10 != 0 {
+				t.Fatalf("byte %d flipped off-cadence", i)
+			}
+		}
+	}
+	if flipped == 0 {
+		t.Fatal("no bytes were flipped")
+	}
+}
+
+func TestShortReadsPreservesContent(t *testing.T) {
+	src := payload(500)
+	got, err := io.ReadAll(ShortReads(bytes.NewReader(src), 7))
+	if err != nil || !bytes.Equal(got, src) {
+		t.Fatalf("content changed under short reads (err %v)", err)
+	}
+	// Each individual read must be capped at 8 bytes.
+	r := ShortReads(bytes.NewReader(src), 7)
+	buf := make([]byte, 256)
+	n, err := r.Read(buf)
+	if err != nil || n < 1 || n > 8 {
+		t.Fatalf("first read = %d bytes, err %v; want 1..8", n, err)
+	}
+}
+
+func TestTransientEveryFailsOnSchedule(t *testing.T) {
+	src := payload(40)
+	r := TransientEvery(bytes.NewReader(src), 3)
+	buf := make([]byte, 4)
+	var got []byte
+	fails := 0
+	for len(got) < len(src) {
+		n, err := r.Read(buf)
+		got = append(got, buf[:n]...)
+		if err != nil {
+			if !errors.Is(err, ErrTransient) {
+				t.Fatalf("unexpected error %v", err)
+			}
+			if n != 0 {
+				t.Fatal("failing call consumed data")
+			}
+			fails++
+		}
+	}
+	if fails == 0 {
+		t.Fatal("no transient failures injected")
+	}
+	if !bytes.Equal(got, src) {
+		t.Fatal("retrying through transient failures lost data")
+	}
+}
+
+func TestStallBlocksUntilRelease(t *testing.T) {
+	src := payload(100)
+	sr := Stall(bytes.NewReader(src), 20)
+	head, err := io.ReadAll(io.LimitReader(sr, 20))
+	if err != nil || !bytes.Equal(head, src[:20]) {
+		t.Fatalf("pre-stall bytes wrong (err %v)", err)
+	}
+	done := make(chan []byte, 1)
+	go func() {
+		rest, _ := io.ReadAll(sr)
+		done <- rest
+	}()
+	select {
+	case <-done:
+		t.Fatal("read past the stall point without Release")
+	case <-time.After(50 * time.Millisecond):
+	}
+	sr.Release()
+	sr.Release() // idempotent
+	select {
+	case rest := <-done:
+		if !bytes.Equal(rest, src[20:]) {
+			t.Fatal("post-release bytes wrong")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Release did not unblock the read")
+	}
+}
+
+func TestTruncateWriterFailsPastBudget(t *testing.T) {
+	var buf bytes.Buffer
+	w := TruncateWriter(&buf, 10)
+	if n, err := w.Write(payload(6)); n != 6 || err != nil {
+		t.Fatalf("write within budget: n=%d err=%v", n, err)
+	}
+	// This write straddles the budget: 4 bytes land, then ErrShortWrite.
+	if n, err := w.Write(payload(6)); n != 4 || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("straddling write: n=%d err=%v", n, err)
+	}
+	if n, err := w.Write(payload(1)); n != 0 || !errors.Is(err, io.ErrShortWrite) {
+		t.Fatalf("write past budget: n=%d err=%v", n, err)
+	}
+	if !bytes.Equal(buf.Bytes(), append(payload(6), payload(4)...)) {
+		t.Fatalf("sink holds %d bytes, want 10", buf.Len())
+	}
+}
+
+func TestTransientWriterFailsOnSchedule(t *testing.T) {
+	var buf bytes.Buffer
+	w := TransientWriter(&buf, 2)
+	if _, err := w.Write([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("b")); !errors.Is(err, ErrTransient) {
+		t.Fatalf("second write err = %v, want ErrTransient", err)
+	}
+	if _, err := w.Write([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != "ab" {
+		t.Fatalf("sink = %q", buf.String())
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/folding"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/pipeline"
 	"repro/internal/trace"
 )
 
@@ -48,6 +49,11 @@ type Config struct {
 	Parallelism int
 	// Deadline bounds each analysis; 0 means no server-side deadline.
 	Deadline time.Duration
+	// Stall fails an analysis whose pipeline makes no progress for this
+	// long (an upload that went quiet without disconnecting); 0 disables
+	// the watchdog. Stalled requests are answered 408 and counted under
+	// foldsvc_rejected_total{reason="stalled"}.
+	Stall time.Duration
 	// PathRoot, when non-empty, enables ?path= requests for trace files
 	// under this directory; "" disables local-path analysis entirely.
 	PathRoot string
@@ -209,6 +215,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if opts.Parallelism == 0 {
 		opts.Parallelism = s.cfg.Parallelism
 	}
+	opts.StallTimeout = s.cfg.Stall
 	opts.Logger = s.cfg.Logger
 
 	ctx := r.Context()
@@ -303,6 +310,9 @@ func (s *Server) analyzeError(w http.ResponseWriter, r *http.Request, src string
 	case errors.Is(err, context.DeadlineExceeded):
 		s.cancelled.Inc()
 		s.reject(w, "deadline", "analysis deadline exceeded", http.StatusGatewayTimeout)
+	case errors.Is(err, pipeline.ErrStalled):
+		s.cancelled.Inc()
+		s.reject(w, "stalled", err.Error(), http.StatusRequestTimeout)
 	case errors.Is(err, trace.ErrBadFormat):
 		http.Error(w, err.Error(), http.StatusBadRequest)
 	default:
@@ -331,6 +341,10 @@ func (s *Server) recordReport(rep *core.Report) {
 		"Clusters (detected phases) across finished analyses.").Add(float64(rep.Clustering.K))
 	s.reg.Counter("foldsvc_analyze_requests_total",
 		"Analyses that ran to completion.").Inc()
+	if rep.Degraded {
+		s.reg.Counter("foldsvc_analyze_degraded_total",
+			"Analyses that completed degraded (salvage decoding, clustering fallback, or tolerated faults).").Inc()
+	}
 }
 
 // openLocal resolves a ?path= request against the configured root,
@@ -353,7 +367,7 @@ func (s *Server) openLocal(p string) (*os.File, int, error) {
 //
 //	online=1 train=N parallel=N phases=N bins=N model=binned+pchip
 //	counter=PAPI_TOT_INS[,...] knn=auto|brute|kdtree sil_sample=N
-//	min_burst_us=N
+//	min_burst_us=N lenient=1
 func optionsFromQuery(r *http.Request) (core.Options, error) {
 	q := r.URL.Query()
 	var opts core.Options
@@ -398,6 +412,13 @@ func optionsFromQuery(r *http.Request) (core.Options, error) {
 			return opts, fmt.Errorf("bad online=%q: want a boolean", v)
 		}
 		opts.Stream.Online = on
+	}
+	if v := q.Get("lenient"); v != "" {
+		on, err := strconv.ParseBool(v)
+		if err != nil {
+			return opts, fmt.Errorf("bad lenient=%q: want a boolean", v)
+		}
+		opts.Lenient = on
 	}
 	if v := q.Get("knn"); v != "" {
 		mode, err := cluster.ParseIndexMode(v)

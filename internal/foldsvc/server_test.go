@@ -11,6 +11,7 @@ import (
 	"net/http/httptest"
 	"reflect"
 	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -238,8 +239,11 @@ func TestAnalyzeBackpressure429(t *testing.T) {
 	if resp.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("status %d, want 429", resp.StatusCode)
 	}
-	if resp.Header.Get("Retry-After") == "" {
+	ra := resp.Header.Get("Retry-After")
+	if ra == "" {
 		t.Error("429 response missing Retry-After")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 || secs > 60 {
+		t.Errorf("Retry-After = %q, want a delay of 1..60 seconds", ra)
 	}
 
 	// Release the first upload and let it finish.

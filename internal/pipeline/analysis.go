@@ -2,11 +2,13 @@ package pipeline
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"log/slog"
 	"runtime"
 	"slices"
 	"sync"
+	"time"
 
 	"repro/internal/burst"
 	"repro/internal/cluster"
@@ -66,6 +68,18 @@ type Config struct {
 	TrainBursts int
 	// BatchSize is the number of records per pipeline block (default 256).
 	BatchSize int
+	// Lenient enables degraded-mode analysis: when the clustering over the
+	// kept bursts degenerates to zero clusters, a duration-quantile
+	// fallback split keeps the run useful (recorded in Outcome.Warnings).
+	// The decode stage also collects salvage stats from a lenient
+	// trace.StreamReader source into Outcome.Decode. It does not change
+	// how a strict source decodes — pass a Lenient-mode reader for that.
+	Lenient bool
+	// StallTimeout arms a watchdog that fails the run with an error
+	// wrapping ErrStalled when no stage makes progress for this long
+	// (0 disables it). Size it well above the longest barrier-stage gap —
+	// clustering a huge trace moves no blocks while it computes.
+	StallTimeout time.Duration
 	// Logger receives live structured progress (per-stage completions at
 	// debug level, clustering and training outcomes at info level). nil
 	// disables logging.
@@ -163,6 +177,13 @@ type Outcome struct {
 	Online bool
 	// Stages carries the per-stage metrics of the run.
 	Stages []Metrics
+	// Decode summarizes what a lenient (salvage) decode dropped; nil when
+	// the source was not a lenient trace.StreamReader.
+	Decode *trace.DecodeStats
+	// Warnings itemizes every degraded-mode concession the run made
+	// (clustering fallback, online-training fallback); decode-level
+	// warnings are derived from Decode by the report assembler.
+	Warnings []string
 }
 
 // block is the unit of flow between stages: a pooled batch of decoded
@@ -197,6 +218,10 @@ type analysis struct {
 	classifier *online.Classifier
 	trainErr   error
 	finalized  bool
+	warnings   []string
+
+	// decode stage (lenient sources only)
+	decode *trace.DecodeStats
 
 	// fold stage routing, built by finalize
 	byRank   [][]int // per rank: indices into kept, ascending Start
@@ -253,7 +278,11 @@ func RunContext(ctx context.Context, src trace.Source, cfg Config) (*Outcome, er
 	extracted := a.extractStage(p, blocks)
 	phased := a.phaseStage(p, extracted)
 	a.foldStage(p, phased)
-	if err := p.Wait(); err != nil {
+	// Armed only now: the watchdog reads the stage list, which must be
+	// complete before another goroutine looks at it.
+	stopStall := p.WatchStall(cfg.StallTimeout)
+	defer stopStall()
+	if err := p.waitOrAbandon(); err != nil {
 		// A cancelled context outranks whatever secondary error the
 		// cancellation provoked inside a stage (e.g. a read error wrapped
 		// as ErrBadFormat), so callers can rely on errors.Is(err,
@@ -304,6 +333,10 @@ func (a *analysis) decodeStage(p *Pipeline, src trace.Source) <-chan *block {
 			if err == io.EOF {
 				if sr, ok := src.(*trace.StreamReader); ok {
 					m.Bytes = sr.BytesRead()
+					if sr.Mode() == trace.Lenient {
+						st := sr.Stats()
+						a.decode = &st
+					}
 				}
 				return nil
 			}
@@ -440,6 +473,9 @@ func (a *analysis) finalize(m *Metrics) {
 	if !a.cfg.Online {
 		if len(a.kept) > 0 {
 			a.clustering = cluster.ClusterBursts(a.kept, a.cfg.Cluster)
+			if a.clustering.K == 0 && a.cfg.Lenient {
+				a.fallbackClustering("clustering found no phases")
+			}
 		}
 	} else if a.classifier != nil {
 		assign := make([]int, len(a.kept))
@@ -451,6 +487,10 @@ func (a *analysis) finalize(m *Metrics) {
 			Assign: assign, K: t.K, Eps: t.Eps, MinPts: t.MinPts,
 			Silhouette: t.Silhouette,
 		}
+	} else if a.cfg.Lenient && len(a.kept) > 0 {
+		// Online training failed or never had enough bursts; degrade to
+		// the quantile split instead of a zero-phase report.
+		a.fallbackClustering("online classifier unavailable")
 	}
 	for i := range a.kept {
 		if a.kept[i].Cluster != cluster.Noise {
@@ -477,6 +517,19 @@ func (a *analysis) finalize(m *Metrics) {
 		a.rankBuf = make([]instanceBuf, a.meta.Ranks)
 	} else if !a.cfg.NoSamples {
 		a.attached = make([][]trace.Sample, len(a.kept))
+	}
+}
+
+// fallbackClustering replaces a degenerate clustering with the
+// duration-quantile split (lenient mode only) and records why.
+func (a *analysis) fallbackClustering(why string) {
+	a.clustering = cluster.QuantileFallback(a.kept, 2)
+	a.warnings = append(a.warnings, fmt.Sprintf(
+		"%s; fell back to a duration-quantile split (%d phases over %d bursts)",
+		why, a.clustering.K, len(a.kept)))
+	if a.cfg.Logger != nil {
+		a.cfg.Logger.Info("clustering fallback", "why", why,
+			"phases", a.clustering.K, "bursts", len(a.kept))
 	}
 }
 
@@ -594,6 +647,8 @@ func (a *analysis) outcome(p *Pipeline) *Outcome {
 		Attached:   a.attached,
 		Online:     a.cfg.Online,
 		Iterations: structure.IterationsFromMarks(a.marks),
+		Decode:     a.decode,
+		Warnings:   a.warnings,
 	}
 	if prof, err := a.prof.Finish(a.meta.Duration); err == nil {
 		out.Profile = prof

@@ -17,10 +17,20 @@ package pipeline
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"log/slog"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// ErrStalled is the failure a stall watchdog injects when no stage has
+// made progress for the configured timeout — typically an upload that
+// went quiet without disconnecting. Errors returned by a watched
+// pipeline wrap it and name the stages that were still running.
+var ErrStalled = errors.New("pipeline stalled")
 
 // Metrics records one stage's observability counters, carried into the
 // Report so users can see where records and time went.
@@ -55,6 +65,18 @@ type Pipeline struct {
 	quit    chan struct{}
 	err     error
 	metrics []*Metrics
+
+	// progress counts stage work items (blocks moved, records sunk); the
+	// stall watchdog watches it tick. stages tracks which stages are
+	// still running so a stall error can name the culprits.
+	progress atomic.Int64
+	stages   []*stageState
+}
+
+// stageState is one stage's liveness flag for the stall watchdog.
+type stageState struct {
+	name string
+	done atomic.Bool
 }
 
 // New creates an empty pipeline.
@@ -101,9 +123,12 @@ func (p *Pipeline) fail(err error) {
 func (p *Pipeline) Go(name string, fn func(m *Metrics) error) {
 	m := &Metrics{Stage: name}
 	p.metrics = append(p.metrics, m)
+	st := &stageState{name: name}
+	p.stages = append(p.stages, st)
 	p.wg.Add(1)
 	go func() {
 		defer p.wg.Done()
+		defer st.done.Store(true)
 		start := time.Now()
 		err := fn(m)
 		m.Wall = time.Since(start)
@@ -122,6 +147,103 @@ func (p *Pipeline) Go(name string, fn func(m *Metrics) error) {
 // error, if any.
 func (p *Pipeline) Wait() error {
 	p.wg.Wait()
+	return p.err
+}
+
+// beat records one unit of stage progress for the stall watchdog.
+func (p *Pipeline) beat() { p.progress.Add(1) }
+
+// liveStages names the stages that have not yet returned.
+func (p *Pipeline) liveStages() string {
+	var names []string
+	for _, st := range p.stages {
+		if !st.done.Load() {
+			names = append(names, st.name)
+		}
+	}
+	if len(names) == 0 {
+		return "unknown"
+	}
+	return strings.Join(names, ", ")
+}
+
+// WatchStall arms a progress watchdog: if no stage moves any work for
+// timeout, the pipeline fails with an error wrapping ErrStalled that
+// names the stages still running — turning a silently wedged input into
+// a diagnosable failure. A timeout of 0 disables the watchdog. Arm it
+// only after the last stage has been spawned (the stage list must be
+// complete), and pick a timeout comfortably above the longest gap
+// between work items — the barrier stages (clustering at the
+// event→sample boundary) do minutes-free stretches of CPU work on huge
+// traces without moving blocks. The returned stop function releases the
+// watchdog goroutine; defer it next to Wait.
+func (p *Pipeline) WatchStall(timeout time.Duration) (stop func()) {
+	if timeout <= 0 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	go func() {
+		period := timeout / 4
+		if period < time.Millisecond {
+			period = time.Millisecond
+		}
+		tick := time.NewTicker(period)
+		defer tick.Stop()
+		last := p.progress.Load()
+		lastChange := time.Now()
+		for {
+			select {
+			case <-done:
+				return
+			case <-p.quit:
+				return
+			case <-tick.C:
+				if cur := p.progress.Load(); cur != last {
+					last, lastChange = cur, time.Now()
+					continue
+				}
+				if time.Since(lastChange) >= timeout {
+					p.fail(fmt.Errorf("%w: no progress for %v in stage(s): %s",
+						ErrStalled, timeout, p.liveStages()))
+					return
+				}
+			}
+		}
+	}()
+	return func() { close(done) }
+}
+
+// stallGrace is how long waitOrAbandon gives a stalled pipeline's stages
+// to drain before abandoning them.
+const stallGrace = 250 * time.Millisecond
+
+// waitOrAbandon is Wait, except that a pipeline failed by the stall
+// watchdog is abandoned after a short grace period instead of being
+// waited on forever: the very condition the watchdog detects — a stage
+// wedged in an uninterruptible read — also prevents that stage from ever
+// returning. Abandoning leaks the wedged goroutine until its read
+// unblocks; the alternative is hanging the caller with it.
+func (p *Pipeline) waitOrAbandon() error {
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return p.err
+	case <-p.quit:
+	}
+	// An error is latched; the stages normally drain in microseconds.
+	select {
+	case <-done:
+		return p.err
+	case <-time.After(stallGrace):
+	}
+	if errors.Is(p.err, ErrStalled) {
+		return p.err
+	}
+	<-done
 	return p.err
 }
 
@@ -172,6 +294,7 @@ func Sink[In any](p *Pipeline, name string, in <-chan In,
 
 	p.Go(name, func(m *Metrics) error {
 		for v := range in {
+			p.beat()
 			if err := fn(m, v); err != nil {
 				return err
 			}
@@ -199,6 +322,7 @@ type StageCtx[Out any] struct {
 func (c *StageCtx[Out]) Emit(v Out) bool {
 	select {
 	case c.out <- v:
+		c.p.beat()
 		return true
 	case <-c.p.quit:
 		c.stopped = true

@@ -1,0 +1,109 @@
+package pipeline
+
+import (
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// stallSource blocks Next until released — the shape of an upload that
+// goes quiet without disconnecting.
+type stallSource struct {
+	meta    trace.Metadata
+	served  int
+	release chan struct{}
+}
+
+func (s *stallSource) Meta() *trace.Metadata { return &s.meta }
+
+func (s *stallSource) Next(rec *trace.Record) error {
+	if s.served < 3 {
+		s.served++
+		rec.Kind = trace.KindEvent
+		rec.Event = trace.Event{Rank: 0, Time: trace.Time(s.served), Type: trace.EvIteration, Value: int64(s.served)}
+		return nil
+	}
+	<-s.release
+	return io.EOF
+}
+
+func TestWatchStallNamesStalledStage(t *testing.T) {
+	src := &stallSource{
+		meta:    trace.Metadata{App: "stall", Ranks: 1, Duration: 1000},
+		release: make(chan struct{}),
+	}
+	defer close(src.release) // unwedge the abandoned decode goroutine
+
+	start := time.Now()
+	done := make(chan error, 1)
+	go func() {
+		_, err := Run(src, Config{StallTimeout: 100 * time.Millisecond})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrStalled) {
+			t.Fatalf("err = %v, want ErrStalled", err)
+		}
+		if !strings.Contains(err.Error(), "decode") {
+			t.Errorf("stall error %q does not name the decode stage", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("stalled pipeline hung instead of failing")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("stall detection took %v", elapsed)
+	}
+}
+
+func TestWatchStallDisabledByDefault(t *testing.T) {
+	// StallTimeout 0 must not arm a watchdog; a normal run completes.
+	tr := trace.NewBuilder("ok", 1)
+	tr.Event(0, 0, trace.EvIteration, 1)
+	tr.Event(0, 10, trace.EvMPI, int64(trace.MPIBarrier))
+	tr.Event(0, 20, trace.EvMPI, 0)
+	out, err := Run(trace.NewTraceSource(tr.Build()), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out == nil {
+		t.Fatal("nil outcome")
+	}
+}
+
+func TestWatchStallNotTriggeredByProgress(t *testing.T) {
+	// A slow-but-progressing source must survive a watchdog whose timeout
+	// exceeds the per-record gap.
+	b := trace.NewBuilder("slow", 1)
+	for i := 0; i < 20; i++ {
+		t0 := trace.Time(i * 100)
+		b.Event(0, t0, trace.EvIteration, int64(i+1))
+		b.Event(0, t0+10, trace.EvMPI, int64(trace.MPIBarrier))
+		b.Event(0, t0+20, trace.EvMPI, 0)
+	}
+	src := &slowSource{inner: trace.NewTraceSource(b.Build()), delay: 2 * time.Millisecond}
+	out, err := Run(src, Config{StallTimeout: 2 * time.Second, BatchSize: 1})
+	if err != nil {
+		t.Fatalf("watchdog misfired on a progressing run: %v", err)
+	}
+	if out.Records.Events == 0 {
+		t.Fatal("no records processed")
+	}
+}
+
+// slowSource delays every record to simulate a trickling input.
+type slowSource struct {
+	inner *trace.TraceSource
+	delay time.Duration
+}
+
+func (s *slowSource) Meta() *trace.Metadata { return s.inner.Meta() }
+
+func (s *slowSource) Next(rec *trace.Record) error {
+	time.Sleep(s.delay)
+	return s.inner.Next(rec)
+}

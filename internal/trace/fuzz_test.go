@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"errors"
 	"reflect"
 	"testing"
 )
@@ -38,7 +39,8 @@ func FuzzReadFrom(f *testing.F) {
 	b.Sample(0, 500, []int64{100, 200, 5, 1, 50}, []uint32{rA, rB})
 	b.Sample(1, 700, []int64{90, 180, 3, 1, 40}, nil)
 	b.Comm(0, 1, 800, 850, 4096, 7)
-	seed(b.Build())
+	featured := b.Build()
+	seed(featured)
 
 	seed(NewBuilder("empty", 1).Build())
 
@@ -49,6 +51,8 @@ func FuzzReadFrom(f *testing.F) {
 	}
 	raw := corrupt.Bytes()
 	f.Add(append(raw[:len(raw)-3], 0xff, 0xff, 0xff, 0xff, 0x0f))
+
+	addDamagedSeeds(f, featured)
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		tr, err := ReadFrom(bytes.NewReader(data))
@@ -68,6 +72,86 @@ func FuzzReadFrom(f *testing.F) {
 			!reflect.DeepEqual(tr.Samples, tr2.Samples) ||
 			!reflect.DeepEqual(tr.Comms, tr2.Comms) {
 			t.Fatal("decode → encode → decode is not a fixed point")
+		}
+	})
+}
+
+// addDamagedSeeds seeds the corpus with realistic fault shapes: the
+// featured trace truncated at several depths and with single bits
+// flipped across the record region — the damage the lenient decoder is
+// built to absorb.
+func addDamagedSeeds(f *testing.F, tr *Trace) {
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	enc := buf.Bytes()
+	for _, frac := range []int{30, 55, 80, 95} {
+		f.Add(append([]byte(nil), enc[:len(enc)*frac/100]...))
+	}
+	for _, pos := range []int{len(enc) / 2, len(enc) * 2 / 3, len(enc) - 5} {
+		if pos < 0 || pos >= len(enc) {
+			continue
+		}
+		mut := append([]byte(nil), enc...)
+		mut[pos] ^= 0x40
+		f.Add(mut)
+	}
+}
+
+// FuzzReadFromLenient fuzzes the salvage decoder. For arbitrary input it
+// must never panic or hang, and its DecodeStats must be consistent: a
+// decode that reports no salvage action (not Degraded) must be
+// bit-for-bit equivalent to a strict decode of the same input, and any
+// salvaged trace must re-encode cleanly (canonical order preserved).
+func FuzzReadFromLenient(f *testing.F) {
+	seed := func(tr *Trace) {
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	b := NewBuilder("fuzz-lenient", 2)
+	b.SetSamplePeriod(1000)
+	rA := b.Region("solve")
+	b.Event(0, 0, EvIteration, 1)
+	b.EventC(0, 10, EvMPI, int64(MPIBarrier), []int64{50, 100, 2, 1, 10})
+	b.Event(0, 20, EvMPI, 0)
+	b.Sample(0, 500, []int64{100, 200, 5, 1, 50}, []uint32{rA})
+	b.Comm(0, 1, 800, 850, 4096, 7)
+	featured := b.Build()
+	seed(featured)
+	seed(NewBuilder("empty", 1).Build())
+	addDamagedSeeds(f, featured)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, st, err := ReadFromLenient(bytes.NewReader(data))
+		if err != nil {
+			// Only header corruption may fail, and it must be a clean
+			// wrapped format error.
+			if !errors.Is(err, ErrBadFormat) {
+				t.Fatalf("lenient decode failed with non-format error: %v", err)
+			}
+			return
+		}
+		if st.Dropped() < 0 || st.Resyncs < 0 || st.BadSections < 0 {
+			t.Fatalf("inconsistent stats: %+v", st)
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatalf("salvaged trace failed to re-encode: %v", err)
+		}
+		if !st.Degraded() {
+			strict, err := ReadFrom(bytes.NewReader(data))
+			if err != nil {
+				t.Fatalf("clean lenient decode but strict decode failed: %v", err)
+			}
+			if !reflect.DeepEqual(tr.Events, strict.Events) ||
+				!reflect.DeepEqual(tr.Samples, strict.Samples) ||
+				!reflect.DeepEqual(tr.Comms, strict.Comms) {
+				t.Fatal("non-degraded lenient decode differs from strict decode")
+			}
 		}
 	})
 }

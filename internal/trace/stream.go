@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -150,14 +151,17 @@ type StreamReader struct {
 	cr    countingReader
 	limit int64 // total input size in bytes, -1 when unknown
 	meta  Metadata
+	mode  Mode
 
-	kind    Kind   // section being decoded (numKinds when finished)
-	counted bool   // current section's count header has been read
-	left    uint64 // records remaining in the current section
-	idx     uint64 // index of the next record within the section
-	prev    Time   // delta-decoding base for the current section
-	counts  [numKinds]uint64
-	err     error // sticky terminal state (io.EOF or a decode error)
+	kind     Kind   // section being decoded (numKinds when finished)
+	counted  bool   // current section's count header has been read
+	left     uint64 // records remaining in the current section
+	idx      uint64 // index of the next record within the section
+	prev     Time   // delta-decoding base for the current section
+	prevRank int32  // rank of the last accepted record (lenient sort fence)
+	counts   [numKinds]uint64
+	stats    DecodeStats
+	err      error // sticky terminal state (io.EOF or a decode error)
 }
 
 // NewStreamReader opens a streaming decoder over r, reading the header
@@ -167,6 +171,19 @@ type StreamReader struct {
 // NewStreamReaderSize to supply the size explicitly.
 func NewStreamReader(r io.Reader) (*StreamReader, error) {
 	return NewStreamReaderSize(r, inputSize(r))
+}
+
+// NewStreamReaderMode is NewStreamReader with an explicit decode mode.
+// In Lenient mode record-level corruption and truncation are absorbed
+// (records dropped, the damage tallied in Stats) instead of aborting the
+// stream; header corruption remains fatal in both modes.
+func NewStreamReaderMode(r io.Reader, mode Mode) (*StreamReader, error) {
+	sr, err := NewStreamReaderSize(r, inputSize(r))
+	if err != nil {
+		return nil, err
+	}
+	sr.mode = mode
+	return sr, nil
 }
 
 // NewStreamReaderSize is NewStreamReader with an explicit total input
@@ -274,6 +291,13 @@ func (sr *StreamReader) Next(rec *Record) error {
 	if sr.err != nil {
 		return sr.err
 	}
+	if sr.mode == Lenient {
+		return sr.nextLenient(rec)
+	}
+	return sr.nextStrict(rec)
+}
+
+func (sr *StreamReader) nextStrict(rec *Record) error {
 	for sr.left == 0 {
 		if sr.counted {
 			sr.kind++
@@ -303,21 +327,194 @@ func (sr *StreamReader) Next(rec *Record) error {
 	return nil
 }
 
+// maxLenientResyncs caps how many corrupt records a lenient decode may
+// drop-and-resync past before declaring the rest of the stream unusable.
+// Varints are self-delimiting, so a resync usually realigns within a
+// record or two; a stream that keeps failing past this bound is noise.
+const maxLenientResyncs = 1 << 16
+
+// nextLenient is the salvage decode loop: structurally corrupt records
+// are dropped with the cursor resynchronizing at the next varint
+// boundary, semantically impossible records (rank out of range, time
+// past the trace end, sort-order violations) are dropped in place, and
+// truncation ends the stream gracefully with Stats().Truncated set.
+func (sr *StreamReader) nextLenient(rec *Record) error {
+	for {
+		for sr.left == 0 {
+			if sr.counted {
+				sr.kind++
+				sr.counted = false
+			}
+			if sr.kind >= numKinds {
+				return sr.fail(io.EOF)
+			}
+			if err := sr.beginSection(); err != nil {
+				// A section header that cannot be decoded leaves no way to
+				// locate later sections: salvage what was read so far.
+				sr.truncate()
+				return sr.fail(io.EOF)
+			}
+		}
+		prev0, prevRank0 := sr.prev, sr.prevRank
+		var err error
+		switch sr.kind {
+		case KindEvent:
+			err = sr.readEvent(rec)
+		case KindSample:
+			err = sr.readSample(rec)
+		default:
+			err = sr.readComm(rec)
+		}
+		if err == nil {
+			sr.idx++
+			sr.left--
+			if !sr.plausible(rec, prev0) {
+				// Decoded but semantically impossible — drop it and undo its
+				// effect on the delta base so one corrupt timestamp cannot
+				// poison the rest of the section.
+				sr.prev, sr.prevRank = prev0, prevRank0
+				sr.dropOne(sr.kind)
+				continue
+			}
+			sr.noteAccepted(rec)
+			return nil
+		}
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			// The input ends mid-record: everything decoded so far stands.
+			sr.truncate()
+			return sr.fail(io.EOF)
+		}
+		// In-place corruption: drop the record and resume decoding at the
+		// cursor, giving up once the resync budget is spent.
+		sr.stats.Resyncs++
+		sr.dropOne(sr.kind)
+		sr.idx++
+		sr.left--
+		if sr.stats.Resyncs >= maxLenientResyncs {
+			sr.truncate()
+			return sr.fail(io.EOF)
+		}
+	}
+}
+
+// plausible applies the semantic fences of lenient mode: ranks must be
+// inside the metadata's range, timestamps must not pass the declared
+// duration, and the section's (time, rank) sort order must hold — the
+// same invariants Trace.Validate demands, checked record-by-record so a
+// corrupt-but-decodable record is dropped instead of poisoning analysis.
+// prevTime is the delta base before this record was decoded, i.e. the
+// previous accepted record's timestamp.
+func (sr *StreamReader) plausible(rec *Record, prevTime Time) bool {
+	ranks := int32(sr.meta.Ranks)
+	end := sr.meta.Duration
+	switch rec.Kind {
+	case KindEvent:
+		e := &rec.Event
+		if ranks > 0 && (e.Rank < 0 || e.Rank >= ranks) {
+			return false
+		}
+		if end > 0 && e.Time > end {
+			return false
+		}
+		if e.Time == prevTime && sr.idx > 1 && e.Rank < sr.prevRank {
+			return false
+		}
+	case KindSample:
+		s := &rec.Sample
+		if ranks > 0 && (s.Rank < 0 || s.Rank >= ranks) {
+			return false
+		}
+		if end > 0 && s.Time > end {
+			return false
+		}
+		if s.Time == prevTime && sr.idx > 1 && s.Rank < sr.prevRank {
+			return false
+		}
+	case KindComm:
+		c := &rec.Comm
+		if ranks > 0 && (c.Src < 0 || c.Src >= ranks || c.Dst < 0 || c.Dst >= ranks) {
+			return false
+		}
+		if c.RecvTime < c.SendTime || c.Size < 0 {
+			return false
+		}
+		if end > 0 && (c.SendTime > end || c.RecvTime > end) {
+			return false
+		}
+	}
+	return true
+}
+
+// noteAccepted records the sort-fence state of a record that was
+// returned to the caller.
+func (sr *StreamReader) noteAccepted(rec *Record) {
+	switch rec.Kind {
+	case KindEvent:
+		sr.prevRank = rec.Event.Rank
+	case KindSample:
+		sr.prevRank = rec.Sample.Rank
+	default:
+		sr.prevRank = rec.Comm.Src
+	}
+}
+
+// dropOne tallies one dropped record of kind k.
+func (sr *StreamReader) dropOne(k Kind) { sr.dropN(k, 1) }
+
+func (sr *StreamReader) dropN(k Kind, n uint64) {
+	switch k {
+	case KindEvent:
+		sr.stats.DroppedEvents += int64(n)
+	case KindSample:
+		sr.stats.DroppedSamples += int64(n)
+	case KindComm:
+		sr.stats.DroppedComms += int64(n)
+	}
+}
+
+// truncate marks the remainder of the stream unusable: undelivered
+// records of the current section are counted as dropped (sections never
+// begun have unknown counts and are not) and the next call ends the
+// stream.
+func (sr *StreamReader) truncate() {
+	sr.stats.Truncated = true
+	if sr.counted && sr.left > 0 {
+		sr.dropN(sr.kind, sr.left)
+		sr.left = 0
+	}
+	sr.counted = false
+	sr.kind = numKinds
+}
+
 // beginSection reads and validates the current section's record count.
 func (sr *StreamReader) beginSection() error {
 	n, err := binary.ReadUvarint(sr.br)
 	if err != nil {
-		return fmt.Errorf("%w: %s count: %v", ErrBadFormat, sr.kind, err)
+		return badf(err, "%s count: %v", sr.kind, err)
 	}
+	bad := false
 	if n > maxSectionRecords {
-		return fmt.Errorf("%w: %s count %d too large", ErrBadFormat, sr.kind, n)
+		if sr.mode != Lenient {
+			return badf(nil, "%s count %d too large", sr.kind, n)
+		}
+		bad = true
+		n = maxSectionRecords
 	}
 	// With a known input size, a section cannot declare more records than
 	// the remaining bytes could minimally encode — reject corrupt counts
-	// here, before any caller sizes a slice from them.
+	// here, before any caller sizes a slice from them. Lenient decodes
+	// clamp to that bound instead and let truncation handling finish the
+	// job when the stream runs dry early.
 	if rem := sr.remaining(); rem >= 0 && n > uint64(rem)/minRecordSize[sr.kind] {
-		return fmt.Errorf("%w: %s count %d exceeds remaining input (%d bytes)",
-			ErrBadFormat, sr.kind, n, rem)
+		if sr.mode != Lenient {
+			return badf(nil, "%s count %d exceeds remaining input (%d bytes)",
+				sr.kind, n, rem)
+		}
+		bad = true
+		n = uint64(rem) / minRecordSize[sr.kind]
+	}
+	if bad {
+		sr.stats.BadSections++
 	}
 	sr.counts[sr.kind] = n
 	sr.left = n
@@ -330,7 +527,7 @@ func (sr *StreamReader) beginSection() error {
 // advance delta-decodes the next timestamp of the current section.
 func (sr *StreamReader) advance(dt uint64, what string) (Time, error) {
 	if dt > math.MaxInt64 || sr.prev > math.MaxInt64-Time(dt) {
-		return 0, fmt.Errorf("%w: %s %d %s delta %d overflows", ErrBadFormat, sr.kind, sr.idx, what, dt)
+		return 0, badf(nil, "%s %d %s delta %d overflows", sr.kind, sr.idx, what, dt)
 	}
 	sr.prev += Time(dt)
 	return sr.prev, nil
@@ -340,23 +537,23 @@ func (sr *StreamReader) readEvent(rec *Record) error {
 	i := sr.idx
 	dt, err := binary.ReadUvarint(sr.br)
 	if err != nil {
-		return fmt.Errorf("%w: event %d time: %v", ErrBadFormat, i, err)
+		return badf(err, "event %d time: %v", i, err)
 	}
 	rank, err := binary.ReadUvarint(sr.br)
 	if err != nil {
-		return fmt.Errorf("%w: event %d rank: %v", ErrBadFormat, i, err)
+		return badf(err, "event %d rank: %v", i, err)
 	}
 	typ, err := sr.br.ReadByte()
 	if err != nil {
-		return fmt.Errorf("%w: event %d type: %v", ErrBadFormat, i, err)
+		return badf(err, "event %d type: %v", i, err)
 	}
 	val, err := binary.ReadVarint(sr.br)
 	if err != nil {
-		return fmt.Errorf("%w: event %d value: %v", ErrBadFormat, i, err)
+		return badf(err, "event %d value: %v", i, err)
 	}
 	flag, err := sr.br.ReadByte()
 	if err != nil {
-		return fmt.Errorf("%w: event %d counter flag: %v", ErrBadFormat, i, err)
+		return badf(err, "event %d counter flag: %v", i, err)
 	}
 	t, err := sr.advance(dt, "time")
 	if err != nil {
@@ -371,12 +568,12 @@ func (sr *StreamReader) readEvent(rec *Record) error {
 		for c := 0; c < int(counters.NumCounters); c++ {
 			v, err := binary.ReadVarint(sr.br)
 			if err != nil {
-				return fmt.Errorf("%w: event %d counter %d: %v", ErrBadFormat, i, c, err)
+				return badf(err, "event %d counter %d: %v", i, c, err)
 			}
 			e.Counters[c] = v
 		}
 	default:
-		return fmt.Errorf("%w: event %d has invalid counter flag %d", ErrBadFormat, i, flag)
+		return badf(nil, "event %d has invalid counter flag %d", i, flag)
 	}
 	rec.Kind = KindEvent
 	return nil
@@ -386,11 +583,11 @@ func (sr *StreamReader) readSample(rec *Record) error {
 	i := sr.idx
 	dt, err := binary.ReadUvarint(sr.br)
 	if err != nil {
-		return fmt.Errorf("%w: sample %d time: %v", ErrBadFormat, i, err)
+		return badf(err, "sample %d time: %v", i, err)
 	}
 	rank, err := binary.ReadUvarint(sr.br)
 	if err != nil {
-		return fmt.Errorf("%w: sample %d rank: %v", ErrBadFormat, i, err)
+		return badf(err, "sample %d rank: %v", i, err)
 	}
 	t, err := sr.advance(dt, "time")
 	if err != nil {
@@ -402,22 +599,22 @@ func (sr *StreamReader) readSample(rec *Record) error {
 	for c := 0; c < int(counters.NumCounters); c++ {
 		v, err := binary.ReadVarint(sr.br)
 		if err != nil {
-			return fmt.Errorf("%w: sample %d counter %d: %v", ErrBadFormat, i, c, err)
+			return badf(err, "sample %d counter %d: %v", i, c, err)
 		}
 		s.Counters[c] = v
 	}
 	depth, err := binary.ReadUvarint(sr.br)
 	if err != nil {
-		return fmt.Errorf("%w: sample %d stack depth: %v", ErrBadFormat, i, err)
+		return badf(err, "sample %d stack depth: %v", i, err)
 	}
 	if depth > 1024 {
-		return fmt.Errorf("%w: sample %d stack depth %d too large", ErrBadFormat, i, depth)
+		return badf(nil, "sample %d stack depth %d too large", i, depth)
 	}
 	s.Stack = s.Stack[:0]
 	for d := uint64(0); d < depth; d++ {
 		f, err := binary.ReadUvarint(sr.br)
 		if err != nil {
-			return fmt.Errorf("%w: sample %d frame %d: %v", ErrBadFormat, i, d, err)
+			return badf(err, "sample %d frame %d: %v", i, d, err)
 		}
 		s.Stack = append(s.Stack, uint32(f))
 	}
@@ -432,27 +629,27 @@ func (sr *StreamReader) readComm(rec *Record) error {
 	i := sr.idx
 	dt, err := binary.ReadUvarint(sr.br)
 	if err != nil {
-		return fmt.Errorf("%w: comm %d send time: %v", ErrBadFormat, i, err)
+		return badf(err, "comm %d send time: %v", i, err)
 	}
 	lat, err := binary.ReadVarint(sr.br)
 	if err != nil {
-		return fmt.Errorf("%w: comm %d latency: %v", ErrBadFormat, i, err)
+		return badf(err, "comm %d latency: %v", i, err)
 	}
 	src, err := binary.ReadUvarint(sr.br)
 	if err != nil {
-		return fmt.Errorf("%w: comm %d src: %v", ErrBadFormat, i, err)
+		return badf(err, "comm %d src: %v", i, err)
 	}
 	dst, err := binary.ReadUvarint(sr.br)
 	if err != nil {
-		return fmt.Errorf("%w: comm %d dst: %v", ErrBadFormat, i, err)
+		return badf(err, "comm %d dst: %v", i, err)
 	}
 	size, err := binary.ReadVarint(sr.br)
 	if err != nil {
-		return fmt.Errorf("%w: comm %d size: %v", ErrBadFormat, i, err)
+		return badf(err, "comm %d size: %v", i, err)
 	}
 	tag, err := binary.ReadVarint(sr.br)
 	if err != nil {
-		return fmt.Errorf("%w: comm %d tag: %v", ErrBadFormat, i, err)
+		return badf(err, "comm %d tag: %v", i, err)
 	}
 	t, err := sr.advance(dt, "send time")
 	if err != nil {
