@@ -5,8 +5,11 @@
 #                   gate (internal/doccheck fails on undocumented exported
 #                   API) + the property tests that pin the indexed
 #                   clustering kernels to their brute-force references + a
-#                   short fuzz run over the trace decoder + a build of every
-#                   example the docs reference
+#                   short fuzz run over the trace decoder (row and columnar
+#                   paths) + a build of every example the docs reference +
+#                   the benchmark regression gate (benchjson -gate fails on
+#                   any >10% ns/op or B/op regression between the two
+#                   newest BENCH_<date>.json snapshots from the same runner)
 #   make chaos    — the fault-injection suite under the race detector:
 #                   full traces driven through the batch, streaming and
 #                   HTTP analysis paths with truncation, bit-flips, short
@@ -45,7 +48,9 @@ check:
 	$(GO) test -run 'Property' -count 1 ./internal/cluster
 	$(GO) test -run '^$$' -fuzz FuzzReadFrom$$ -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzReadFromLenient -fuzztime $(FUZZTIME) ./internal/trace
+	$(GO) test -run '^$$' -fuzz FuzzReadIntoBlock -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) build ./examples/...
+	$(GO) run ./cmd/benchjson -gate -tol 10 -cur newest
 	$(MAKE) chaos
 
 chaos:

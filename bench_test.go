@@ -15,6 +15,7 @@ package repro
 
 import (
 	"bytes"
+	"io"
 	"math"
 	"math/rand/v2"
 	"os"
@@ -124,6 +125,101 @@ func BenchmarkTraceDecode(b *testing.B) {
 		if _, err := trace.ReadFrom(bytes.NewReader(raw)); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkDecodeStream compares the two stream-decode hot paths over
+// one encoded trace: row (one Record at a time via Next) and columnar
+// (arena-backed column blocks via NextBlock, no per-record struct).
+func BenchmarkDecodeStream(b *testing.B) {
+	tr := benchTrace(b)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	b.Run("row", func(b *testing.B) {
+		b.SetBytes(int64(len(raw)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sr, err := trace.NewStreamReader(bytes.NewReader(raw))
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rec trace.Record
+			for {
+				if err := sr.Next(&rec); err != nil {
+					if err == io.EOF {
+						break
+					}
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("columnar", func(b *testing.B) {
+		b.SetBytes(int64(len(raw)))
+		b.ReportAllocs()
+		blk := trace.NewColBlock(256)
+		defer blk.Release()
+		for i := 0; i < b.N; i++ {
+			sr, err := trace.NewStreamReader(bytes.NewReader(raw))
+			if err != nil {
+				b.Fatal(err)
+			}
+			for {
+				if err := sr.NextBlock(blk); err != nil {
+					if err == io.EOF {
+						break
+					}
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkAnalyzeEndToEnd runs the full streaming analysis (decode →
+// extract → cluster → attach) over the encoded bench-large trace on both
+// hot paths. This is the headline comparison for the columnar engine:
+// identical Reports (TestColumnarEquivalence), different ns/op, B/op and
+// allocs/op. The silhouette is sampled (it would otherwise be >90% of
+// the run and has its own benchmarks) so the decode/extract/attach path
+// under comparison carries the time. Needs BENCH_SCALE=large; simulation
+// and encoding sit outside the timer.
+func BenchmarkAnalyzeEndToEnd(b *testing.B) {
+	if !benchScaleLarge() {
+		b.Skip("set BENCH_SCALE=large to analyze the bench-large trace end to end")
+	}
+	app, err := apps.ByName(apps.BenchLargeApp, apps.BenchLargeIters)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := apps.DefaultTraceConfig(apps.BenchLargeRanks)
+	cfg.Seed = apps.BenchLargeSeed
+	tr, err := sim.Run(cfg, app)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	for _, path := range []core.HotPath{core.PathRow, core.PathColumnar} {
+		b.Run(path.String(), func(b *testing.B) {
+			b.SetBytes(int64(len(raw)))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opts := core.Options{Columnar: path}
+				opts.Cluster.SilhouetteSample = 256
+				if _, err := core.AnalyzeStream(bytes.NewReader(raw), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

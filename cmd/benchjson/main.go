@@ -13,9 +13,26 @@
 // (override with -prev, disable with -prev none) and prints the
 // per-benchmark trajectory to stderr.
 //
-// The snapshot records the runner (goos/goarch/CPU count/go version)
-// because ns/op from a 1-core container and a 64-core server are not
-// comparable; trajectory tooling should group by runner fingerprint.
+// The snapshot records the runner (goos/goarch/CPU count/CPU model/go
+// version) because ns/op from a 1-core container and a 64-core server
+// are not comparable; trajectory tooling should group by runner
+// fingerprint. The CPU model comes from the `cpu:` header that `go test
+// -bench` prints, so it reflects the machine the benchmarks actually ran
+// on even when benchjson itself runs elsewhere.
+//
+// With -gate, benchjson is a regression gate: any benchmark whose ns/op
+// or B/op worsened by more than -tol percent against the prior snapshot
+// makes it exit nonzero. Standalone gate mode takes an existing snapshot
+// instead of stdin —
+//
+//	benchjson -gate -tol 10 -cur newest
+//
+// — loading the newest <prefix><date>.json in -dir and comparing it with
+// its predecessor. The gate skips (exit 0, with a notice) when either
+// snapshot is missing or the runner fingerprints differ — including the
+// CPU model, since a container rescheduled onto a different host makes
+// every ns/op delta meaningless — so fresh checkouts and machine moves
+// don't fail `make check`.
 package main
 
 import (
@@ -51,11 +68,14 @@ type Entry struct {
 
 // Snapshot is the full trajectory record for one benchmark run.
 type Snapshot struct {
-	Date       string  `json:"date"`
-	GoVersion  string  `json:"go_version"`
-	GOOS       string  `json:"goos"`
-	GOARCH     string  `json:"goarch"`
-	NumCPU     int     `json:"num_cpu"`
+	Date      string `json:"date"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// CPU is the processor model from the `cpu:` header of the bench
+	// output (empty for snapshots that predate its recording).
+	CPU        string  `json:"cpu,omitempty"`
 	Benchmarks []Entry `json:"benchmarks"`
 }
 
@@ -92,6 +112,10 @@ func parseLine(line string) (Entry, bool) {
 	}
 	return e, true
 }
+
+// cpuLine matches the `cpu: <model>` header go test prints before the
+// benchmark lines.
+var cpuLine = regexp.MustCompile(`^cpu: (.+)$`)
 
 // snapName matches the snapshot naming scheme, capturing the free-form
 // prefix and the ISO date: BENCH_2026-08-05.json → ("BENCH_", "2026-08-05").
@@ -130,6 +154,118 @@ func findPrev(outPath string) string {
 }
 
 func bestDate(name string) string { return snapName.FindStringSubmatch(name)[2] }
+
+// newestSnap returns the path of the newest <prefix><YYYY-MM-DD>.json in
+// dir, or "" when none exists.
+func newestSnap(dir, prefix string) string {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return ""
+	}
+	best := ""
+	for _, e := range entries {
+		m := snapName.FindStringSubmatch(e.Name())
+		if m == nil || m[1] != prefix {
+			continue
+		}
+		if best == "" || m[2] > bestDate(best) {
+			best = e.Name()
+		}
+	}
+	if best == "" {
+		return ""
+	}
+	return filepath.Join(dir, best)
+}
+
+// gateCheck compares cur against prev and returns one line per benchmark
+// whose ns/op or B/op regressed by more than tol percent. Benchmarks are
+// matched by name and GOMAXPROCS; unmatched entries never fail the gate
+// (new benchmarks have no baseline). Metrics with a zero or missing
+// baseline are skipped — a percentage against zero is meaningless.
+func gateCheck(prev, cur *Snapshot, tol float64) []string {
+	entryKey := func(e Entry) string { return fmt.Sprintf("%s@%d", e.Name, e.Procs) }
+	prevBy := make(map[string]Entry, len(prev.Benchmarks))
+	for _, e := range prev.Benchmarks {
+		prevBy[entryKey(e)] = e
+	}
+	var out []string
+	for _, e := range cur.Benchmarks {
+		p, ok := prevBy[entryKey(e)]
+		if !ok {
+			continue
+		}
+		if p.NsPerOp > 0 {
+			if pct := 100 * (e.NsPerOp - p.NsPerOp) / p.NsPerOp; pct > tol {
+				out = append(out, fmt.Sprintf("  %s: ns/op %+.1f%% (%.0f -> %.0f)",
+					entryKey(e), pct, p.NsPerOp, e.NsPerOp))
+			}
+		}
+		if e.BytesPerOp != nil && p.BytesPerOp != nil && *p.BytesPerOp > 0 {
+			if pct := 100 * float64(*e.BytesPerOp-*p.BytesPerOp) / float64(*p.BytesPerOp); pct > tol {
+				out = append(out, fmt.Sprintf("  %s: B/op %+.1f%% (%d -> %d)",
+					entryKey(e), pct, *p.BytesPerOp, *e.BytesPerOp))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// runGate applies gateCheck between two loaded snapshots and reports the
+// verdict; it returns the process exit code.
+func runGate(prevPath, curPath string, prev, cur *Snapshot, tol float64) int {
+	if prev.NumCPU != cur.NumCPU || prev.GOARCH != cur.GOARCH || prev.CPU != cur.CPU {
+		fmt.Fprintf(os.Stderr,
+			"benchjson: gate skipped: runner fingerprint changed (%s/%d CPU/%q -> %s/%d CPU/%q)\n",
+			prev.GOARCH, prev.NumCPU, prev.CPU, cur.GOARCH, cur.NumCPU, cur.CPU)
+		return 0
+	}
+	offenders := gateCheck(prev, cur, tol)
+	if len(offenders) > 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: gate FAILED: %d regression(s) > %.0f%% vs %s:\n",
+			len(offenders), tol, prevPath)
+		for _, l := range offenders {
+			fmt.Fprintln(os.Stderr, l)
+		}
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: gate passed: %s within %.0f%% of %s\n",
+		curPath, tol, prevPath)
+	return 0
+}
+
+// gateStandalone is the -gate -cur mode: load an existing snapshot (or
+// the newest one) and gate it against its predecessor, with graceful
+// skips when there is nothing to compare.
+func gateStandalone(curArg, dir, prefix string, tol float64) int {
+	curPath := curArg
+	if curArg == "newest" {
+		curPath = newestSnap(dir, prefix)
+		if curPath == "" {
+			fmt.Fprintf(os.Stderr, "benchjson: gate skipped: no %s<date>.json in %s\n", prefix, dir)
+			return 0
+		}
+	}
+	cur, err := readSnapshot(curPath)
+	if err != nil {
+		if os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "benchjson: gate skipped: %s does not exist\n", curPath)
+			return 0
+		}
+		fatal(err)
+	}
+	prevPath := findPrev(curPath)
+	if prevPath == "" {
+		fmt.Fprintf(os.Stderr, "benchjson: gate skipped: no snapshot older than %s\n", curPath)
+		return 0
+	}
+	prev, err := readSnapshot(prevPath)
+	if err != nil {
+		fatal(err)
+	}
+	return runGate(prevPath, curPath, prev, cur, tol)
+}
 
 // diffLines renders the per-benchmark trajectory between two snapshots:
 // new ns/op against prior ns/op (with relative change) and B/op when
@@ -181,7 +317,20 @@ func main() {
 		"output JSON path (default BENCH_<today>.json)")
 	prev := flag.String("prev", "",
 		"prior snapshot to diff against (default: newest older BENCH_<date>.json beside -out; \"none\" disables)")
+	gate := flag.Bool("gate", false,
+		"fail (exit 1) when any benchmark regresses more than -tol percent vs the prior snapshot")
+	tol := flag.Float64("tol", 10,
+		"regression tolerance for -gate, in percent of ns/op or B/op")
+	cur := flag.String("cur", "",
+		"standalone gate mode: gate this existing snapshot (\"newest\" picks the newest -prefix file in -dir) instead of reading stdin")
+	dir := flag.String("dir", ".",
+		"directory searched by -cur newest")
+	prefix := flag.String("prefix", "BENCH_",
+		"snapshot filename prefix matched by -cur newest")
 	flag.Parse()
+	if *cur != "" {
+		os.Exit(gateStandalone(*cur, *dir, *prefix, *tol))
+	}
 	if *out == "" {
 		*out = fmt.Sprintf("BENCH_%s.json", time.Now().Format("2006-01-02"))
 	}
@@ -199,6 +348,9 @@ func main() {
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Fprintln(os.Stderr, line)
+		if m := cpuLine.FindStringSubmatch(line); m != nil {
+			snap.CPU = m[1]
+		}
 		if e, ok := parseLine(line); ok {
 			snap.Benchmarks = append(snap.Benchmarks, e)
 		}
@@ -237,11 +389,14 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: trajectory vs %s (%s, %d CPU):\n",
 		prevPath, prevSnap.GoVersion, prevSnap.NumCPU)
-	if prevSnap.NumCPU != snap.NumCPU || prevSnap.GOARCH != snap.GOARCH {
+	if prevSnap.NumCPU != snap.NumCPU || prevSnap.GOARCH != snap.GOARCH || prevSnap.CPU != snap.CPU {
 		fmt.Fprintln(os.Stderr, "benchjson: warning: runner fingerprint differs — deltas are not apples-to-apples")
 	}
 	for _, l := range diffLines(prevSnap, &snap) {
 		fmt.Fprintln(os.Stderr, l)
+	}
+	if *gate {
+		os.Exit(runGate(prevPath, *out, prevSnap, &snap, *tol))
 	}
 }
 

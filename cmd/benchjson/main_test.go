@@ -3,6 +3,8 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"runtime"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -126,6 +128,102 @@ func TestDiffLinesZeroBaseline(t *testing.T) {
 	lines := diffLines(prev, cur)
 	if len(lines) != 1 || strings.Contains(lines[0], "%") {
 		t.Fatalf("zero baseline mishandled: %v", lines)
+	}
+}
+
+func TestGateCheck(t *testing.T) {
+	i64 := func(v int64) *int64 { return &v }
+	prev := &Snapshot{Benchmarks: []Entry{
+		{Name: "BenchmarkStable", Procs: 1, NsPerOp: 100, BytesPerOp: i64(1000)},
+		{Name: "BenchmarkSlower", Procs: 1, NsPerOp: 100},
+		{Name: "BenchmarkFatter", Procs: 4, NsPerOp: 100, BytesPerOp: i64(1000)},
+		{Name: "BenchmarkZeroBase", Procs: 1, NsPerOp: 0, BytesPerOp: i64(0)},
+		{Name: "BenchmarkGone", Procs: 1, NsPerOp: 1},
+	}}
+	cur := &Snapshot{Benchmarks: []Entry{
+		// Within tolerance (+9% ns/op, −10% B/op) — must pass.
+		{Name: "BenchmarkStable", Procs: 1, NsPerOp: 109, BytesPerOp: i64(900)},
+		// +25% ns/op — offender.
+		{Name: "BenchmarkSlower", Procs: 1, NsPerOp: 125},
+		// ns/op flat, +50% B/op — offender.
+		{Name: "BenchmarkFatter", Procs: 4, NsPerOp: 100, BytesPerOp: i64(1500)},
+		// Zero baselines never divide.
+		{Name: "BenchmarkZeroBase", Procs: 1, NsPerOp: 50, BytesPerOp: i64(64)},
+		// No baseline at all — new benchmarks never fail the gate.
+		{Name: "BenchmarkNew", Procs: 1, NsPerOp: 1e9},
+	}}
+	got := gateCheck(prev, cur, 10)
+	if len(got) != 2 {
+		t.Fatalf("got %d offenders: %v", len(got), got)
+	}
+	joined := strings.Join(got, "\n")
+	if !strings.Contains(joined, "BenchmarkSlower@1: ns/op +25.0%") {
+		t.Errorf("ns/op regression missing:\n%s", joined)
+	}
+	if !strings.Contains(joined, "BenchmarkFatter@4: B/op +50.0%") {
+		t.Errorf("B/op regression missing:\n%s", joined)
+	}
+	if strings.Contains(joined, "Stable") || strings.Contains(joined, "ZeroBase") || strings.Contains(joined, "New") {
+		t.Errorf("false offender:\n%s", joined)
+	}
+
+	// A looser tolerance clears everything.
+	if got := gateCheck(prev, cur, 60); len(got) != 0 {
+		t.Fatalf("tol=60 still flags: %v", got)
+	}
+}
+
+func TestGateStandalone(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, body string) {
+		t.Helper()
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The fingerprint must match the test runner for the gate to engage.
+	fp := func(bench string) string {
+		return `{"goarch":"` + runtime.GOARCH + `","num_cpu":` + strconv.Itoa(runtime.NumCPU()) +
+			`,"benchmarks":[` + bench + `]}`
+	}
+
+	// No snapshots at all: skip, exit 0.
+	if code := gateStandalone("newest", dir, "BENCH_", 10); code != 0 {
+		t.Fatalf("empty dir: exit %d, want 0", code)
+	}
+	// One snapshot, no predecessor: skip.
+	write("BENCH_2026-08-07.json", fp(`{"name":"BenchmarkX","procs":1,"ns_per_op":100}`))
+	if code := gateStandalone("newest", dir, "BENCH_", 10); code != 0 {
+		t.Fatalf("no predecessor: exit %d, want 0", code)
+	}
+	// A newer snapshot that regressed 50%: gate fails.
+	write("BENCH_2026-08-08.json", fp(`{"name":"BenchmarkX","procs":1,"ns_per_op":150}`))
+	if code := gateStandalone("newest", dir, "BENCH_", 10); code != 1 {
+		t.Fatalf("regression: exit %d, want 1", code)
+	}
+	// The same pair under a 60% tolerance passes.
+	if code := gateStandalone("newest", dir, "BENCH_", 60); code != 0 {
+		t.Fatalf("tol=60: exit %d, want 0", code)
+	}
+	// A fingerprint change (different CPU count) skips the gate.
+	write("BENCH_2026-08-09.json",
+		`{"goarch":"`+runtime.GOARCH+`","num_cpu":`+strconv.Itoa(runtime.NumCPU()+7)+
+			`,"benchmarks":[{"name":"BenchmarkX","procs":1,"ns_per_op":900}]}`)
+	if code := gateStandalone("newest", dir, "BENCH_", 10); code != 0 {
+		t.Fatalf("fingerprint change: exit %d, want 0", code)
+	}
+	// A CPU-model change alone (the container landing on a different
+	// host) also skips — including against a predecessor that predates
+	// cpu recording entirely.
+	write("BENCH_2026-08-10.json",
+		`{"goarch":"`+runtime.GOARCH+`","num_cpu":`+strconv.Itoa(runtime.NumCPU()+7)+
+			`,"cpu":"Intel(R) Xeon(R) Processor @ 2.70GHz","benchmarks":[{"name":"BenchmarkX","procs":1,"ns_per_op":9000}]}`)
+	if code := gateStandalone("newest", dir, "BENCH_", 10); code != 0 {
+		t.Fatalf("cpu model change: exit %d, want 0", code)
+	}
+	// An explicit missing -cur path skips rather than erroring.
+	if code := gateStandalone(filepath.Join(dir, "BENCH_2031-01-01.json"), dir, "BENCH_", 10); code != 0 {
+		t.Fatalf("missing cur: exit %d, want 0", code)
 	}
 }
 

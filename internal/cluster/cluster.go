@@ -118,11 +118,21 @@ type Result struct {
 // [0,1] per dimension. Non-positive durations/instruction counts clamp to
 // 1 before the log.
 func Features(bursts []burst.Burst, useIPC bool) [][]float64 {
+	flat, dim := featuresFlat(bursts, useIPC)
+	return rowsOf(flat, dim)
+}
+
+// featuresFlat is the columnar core of Features: the same per-burst
+// arithmetic and the same min-max normalization, but the matrix lives in
+// one row-major allocation instead of a slice per burst. Downstream
+// kernels that index rows (DBSCAN, silhouette) wrap it with rowsOf; the
+// k-d tree bulk-loads the flat array directly.
+func featuresFlat(bursts []burst.Burst, useIPC bool) ([]float64, int) {
 	dim := 2
 	if useIPC {
 		dim = 3
 	}
-	out := make([][]float64, len(bursts))
+	flat := make([]float64, len(bursts)*dim)
 	for i := range bursts {
 		d := float64(bursts[i].Duration())
 		if d < 1 {
@@ -132,16 +142,60 @@ func Features(bursts []burst.Burst, useIPC bool) [][]float64 {
 		if ins < 1 {
 			ins = 1
 		}
-		row := make([]float64, dim)
+		row := flat[i*dim : (i+1)*dim]
 		row[0] = math.Log10(d)
 		row[1] = math.Log10(ins)
 		if useIPC {
 			row[2] = bursts[i].IPC()
 		}
-		out[i] = row
 	}
-	Normalize(out)
-	return out
+	normalizeFlat(flat, dim)
+	return flat, dim
+}
+
+// rowsOf builds capacity-capped row headers over a row-major flat
+// matrix, giving the [][]float64 shape the row-oriented kernels expect
+// in a single header allocation.
+func rowsOf(flat []float64, dim int) [][]float64 {
+	if dim <= 0 {
+		return nil
+	}
+	n := len(flat) / dim
+	rows := make([][]float64, n)
+	for i := range rows {
+		rows[i] = flat[i*dim : (i+1)*dim : (i+1)*dim]
+	}
+	return rows
+}
+
+// normalizeFlat min-max scales each column of the row-major matrix to
+// [0,1] in place — the same per-dimension scan order and arithmetic as
+// Normalize, so both layouts produce bit-identical values.
+func normalizeFlat(flat []float64, dim int) {
+	if len(flat) == 0 || dim <= 0 {
+		return
+	}
+	n := len(flat) / dim
+	for d := 0; d < dim; d++ {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < n; i++ {
+			v := flat[i*dim+d]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		span := hi - lo
+		for i := 0; i < n; i++ {
+			if span == 0 {
+				flat[i*dim+d] = 0
+			} else {
+				flat[i*dim+d] = (flat[i*dim+d] - lo) / span
+			}
+		}
+	}
 }
 
 // Normalize min-max scales each column of the matrix to [0,1] in place.
@@ -225,17 +279,74 @@ func AutoEpsMode(points [][]float64, k, parallelism int, mode IndexMode) float64
 			defer parallel.PutFloat64(heap)
 			for i := lo; i < hi; i++ {
 				h := heap[:0]
+				pi := points[i]
 				for j := range points {
 					if i != j {
-						h = pushBounded(h, dist2(points[i], points[j]), k)
+						h = pushBounded(h, dist2(pi, points[j]), k)
 					}
 				}
 				kd[i] = math.Sqrt(h[0])
 			}
 		})
 	}
-	// 99th-percentile k-dist; the clamp is redundant for n >= 1
-	// (n*99/100 <= n-1) but guards the invariant explicitly for tiny n.
+	return epsFromKDists(kd)
+}
+
+// autoEpsFlat is AutoEpsMode over a row-major flat matrix — the
+// zero-copy path from featuresFlat. The k-d tree bulk-loads the array
+// without per-row headers; the brute path scans contiguous row views, so
+// both layouts return bit-identical eps.
+func autoEpsFlat(flat []float64, dim, k, parallelism int, mode IndexMode) float64 {
+	if dim <= 0 {
+		return 0.1
+	}
+	n := len(flat) / dim
+	if n == 0 {
+		return 0.1
+	}
+	if k >= n {
+		k = n - 1
+	}
+	if k < 1 {
+		return 0.1
+	}
+	kd := make([]float64, n)
+	if mode == IndexKDTree || (mode == IndexAuto && n >= indexAutoMin) {
+		tree := NewKDTreeFlat(flat, dim)
+		parallel.ForEachChunk(n, parallelism, func(lo, hi int) {
+			heap := parallel.GetFloat64(k)
+			defer parallel.PutFloat64(heap)
+			for i := lo; i < hi; i++ {
+				kd[i] = tree.KNearestDist(i, k, heap)
+			}
+		})
+	} else {
+		parallel.ForEachChunk(n, parallelism, func(lo, hi int) {
+			heap := parallel.GetFloat64(k)
+			defer parallel.PutFloat64(heap)
+			for i := lo; i < hi; i++ {
+				h := heap[:0]
+				pi := flat[i*dim : (i+1)*dim]
+				for j := 0; j < n; j++ {
+					if i != j {
+						jo := j * dim
+						h = pushBounded(h, dist2(pi, flat[jo:jo+dim]), k)
+					}
+				}
+				kd[i] = math.Sqrt(h[0])
+			}
+		})
+	}
+	return epsFromKDists(kd)
+}
+
+// epsFromKDists finishes both AutoEps layouts: the 99th-percentile
+// k-dist via quickselect, floored at 1e-3 so a degenerate point set
+// (all duplicates) still yields a usable radius.
+func epsFromKDists(kd []float64) float64 {
+	n := len(kd)
+	// The clamp is redundant for n >= 1 (n*99/100 <= n-1) but guards
+	// the invariant explicitly for tiny n.
 	idx := n * 99 / 100
 	if idx > n-1 {
 		idx = n - 1
@@ -258,9 +369,10 @@ func ClusterBursts(bursts []burst.Burst, cfg Config) Result {
 	if len(bursts) == 0 {
 		return res
 	}
-	res.Features = Features(bursts, cfg.UseIPC)
+	flat, dim := featuresFlat(bursts, cfg.UseIPC)
+	res.Features = rowsOf(flat, dim)
 	if res.Eps == 0 {
-		res.Eps = AutoEpsMode(res.Features, res.MinPts, cfg.Parallelism, cfg.Index)
+		res.Eps = autoEpsFlat(flat, dim, res.MinPts, cfg.Parallelism, cfg.Index)
 	}
 	raw := DBSCANP(res.Features, res.Eps, res.MinPts, cfg.Parallelism)
 

@@ -23,27 +23,68 @@ import (
 // break on point index — so identical inputs always build identical
 // trees. Queries are read-only and safe for concurrent use.
 type KDTree struct {
-	pts  [][]float64
-	dim  int
-	idx  []int32
-	axes []int8
+	// Exactly one of the two storages is set: rows references the
+	// caller's per-point slices (NewKDTree), coords is one row-major
+	// array of n*dim values (NewKDTreeFlat). Neither is ever copied.
+	rows   [][]float64
+	coords []float64
+	dim    int
+	idx    []int32
+	axes   []int8
 }
 
 // NewKDTree builds the tree in O(n log n). The points are referenced,
 // not copied, and must not be mutated while the tree is in use.
 func NewKDTree(points [][]float64) *KDTree {
-	t := &KDTree{pts: points}
+	t := &KDTree{rows: points}
 	if len(points) == 0 {
 		return t
 	}
 	t.dim = len(points[0])
-	t.idx = make([]int32, len(points))
+	t.finish(len(points))
+	return t
+}
+
+// NewKDTreeFlat builds the tree over a row-major coordinate array of
+// len(coords)/dim points — the bulk-load entry point for columnar
+// feature matrices. coords is referenced, not copied, and must not be
+// mutated while the tree is in use.
+func NewKDTreeFlat(coords []float64, dim int) *KDTree {
+	t := &KDTree{coords: coords, dim: dim}
+	if len(coords) == 0 || dim <= 0 {
+		t.coords, t.dim = nil, 0
+		return t
+	}
+	t.finish(len(coords) / dim)
+	return t
+}
+
+// finish allocates the index/axis permutation for n points and builds.
+func (t *KDTree) finish(n int) {
+	t.idx = make([]int32, n)
 	for i := range t.idx {
 		t.idx[i] = int32(i)
 	}
-	t.axes = make([]int8, len(points))
-	t.build(0, len(points))
-	return t
+	t.axes = make([]int8, n)
+	t.build(0, n)
+}
+
+// at returns point j's coordinates. The storage branch is taken the same
+// way for the life of a tree, so it predicts perfectly in query loops.
+func (t *KDTree) at(j int32) []float64 {
+	if t.rows != nil {
+		return t.rows[j]
+	}
+	o := int(j) * t.dim
+	return t.coords[o : o+t.dim]
+}
+
+// coord returns coordinate d of point j.
+func (t *KDTree) coord(j int32, d int) float64 {
+	if t.rows != nil {
+		return t.rows[j][d]
+	}
+	return t.coords[int(j)*t.dim+d]
 }
 
 // build recursively partitions idx[lo:hi): the median point along the
@@ -68,7 +109,7 @@ func (t *KDTree) spreadAxis(lo, hi int) int {
 	for d := 0; d < t.dim; d++ {
 		mn, mx := math.Inf(1), math.Inf(-1)
 		for _, j := range t.idx[lo:hi] {
-			v := t.pts[j][d]
+			v := t.coord(j, d)
 			if v < mn {
 				mn = v
 			}
@@ -86,7 +127,7 @@ func (t *KDTree) spreadAxis(lo, hi int) int {
 // less orders points by coordinate on axis, breaking ties by index so
 // the ordering is total and the build deterministic.
 func (t *KDTree) less(a, b int32, axis int) bool {
-	va, vb := t.pts[a][axis], t.pts[b][axis]
+	va, vb := t.coord(a, axis), t.coord(b, axis)
 	if va != vb {
 		return va < vb
 	}
@@ -142,7 +183,7 @@ func (t *KDTree) selectNth(lo, hi, nth, axis int) {
 // candidate, so the returned distance is bit-identical to sorting all
 // n-1 distances and taking the k-th.
 func (t *KDTree) KNearestDist(i, k int, scratch []float64) float64 {
-	n := len(t.pts)
+	n := len(t.idx)
 	if k < 1 || k >= n {
 		panic(fmt.Sprintf("cluster: KNearestDist k=%d outside [1, %d)", k, n))
 	}
@@ -152,7 +193,7 @@ func (t *KDTree) KNearestDist(i, k int, scratch []float64) float64 {
 	} else {
 		heap = make([]float64, 0, k)
 	}
-	heap = t.knnRange(0, n, t.pts[i], int32(i), k, heap)
+	heap = t.knnRange(0, n, t.at(int32(i)), int32(i), k, heap)
 	return math.Sqrt(heap[0])
 }
 
@@ -164,13 +205,13 @@ func (t *KDTree) knnRange(lo, hi int, p []float64, skip int32, k int, heap []flo
 	mid := (lo + hi) / 2
 	j := t.idx[mid]
 	if j != skip {
-		heap = pushBounded(heap, dist2(p, t.pts[j]), k)
+		heap = pushBounded(heap, dist2(p, t.at(j)), k)
 	}
 	if hi-lo == 1 {
 		return heap
 	}
 	axis := int(t.axes[mid])
-	delta := p[axis] - t.pts[j][axis]
+	delta := p[axis] - t.coord(j, axis)
 	nearLo, nearHi, farLo, farHi := lo, mid, mid+1, hi
 	if delta > 0 {
 		nearLo, nearHi, farLo, farHi = mid+1, hi, lo, mid

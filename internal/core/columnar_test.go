@@ -1,0 +1,125 @@
+package core
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/sim"
+)
+
+// TestColumnarEquivalence is the columnar hot path's central contract:
+// for every example application, analysis over structure-of-arrays
+// blocks (the default) produces a Report deep-equal — bit-identical
+// floats included — to the row-path reference, for batch analysis,
+// exact streaming, and online streaming.
+func TestColumnarEquivalence(t *testing.T) {
+	for _, name := range apps.Names() {
+		app, err := apps.ByName(name, 60)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := sim.Run(apps.DefaultTraceConfig(4), app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		enc := buf.Bytes()
+
+		// Batch.
+		row, err := Analyze(tr, Options{Columnar: PathRow})
+		if err != nil {
+			t.Fatal(err)
+		}
+		col, err := Analyze(tr, Options{Columnar: PathColumnar})
+		if err != nil {
+			t.Fatal(err)
+		}
+		normalizeReport(row, col)
+		if !reflect.DeepEqual(row, col) {
+			t.Fatalf("%s: batch columnar Report differs from row path", name)
+		}
+
+		// Exact streaming.
+		row, err = AnalyzeStream(bytes.NewReader(enc), Options{Columnar: PathRow})
+		if err != nil {
+			t.Fatal(err)
+		}
+		col, err = AnalyzeStream(bytes.NewReader(enc), Options{Columnar: PathColumnar})
+		if err != nil {
+			t.Fatal(err)
+		}
+		normalizeReport(row, col)
+		if !reflect.DeepEqual(row, col) {
+			t.Fatalf("%s: streaming columnar Report differs from row path", name)
+		}
+
+		// Online streaming.
+		opts := func(h HotPath) Options {
+			return Options{Columnar: h, Stream: StreamOptions{Online: true, TrainBursts: 64}}
+		}
+		row, err = AnalyzeStream(bytes.NewReader(enc), opts(PathRow))
+		if err != nil {
+			t.Fatal(err)
+		}
+		col, err = AnalyzeStream(bytes.NewReader(enc), opts(PathColumnar))
+		if err != nil {
+			t.Fatal(err)
+		}
+		normalizeReport(row, col)
+		if !reflect.DeepEqual(row, col) {
+			t.Fatalf("%s: online columnar Report differs from row path", name)
+		}
+	}
+}
+
+// TestColumnarEquivalenceLenient pins the salvage path: a truncated and
+// a bit-flipped encoding must salvage to deep-equal Reports — identical
+// DecodeStats included — on both hot paths.
+func TestColumnarEquivalenceLenient(t *testing.T) {
+	app, err := apps.ByName("stencil", 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.Run(apps.DefaultTraceConfig(4), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+
+	damaged := map[string][]byte{
+		"truncated": enc[: len(enc)*3/5 : len(enc)*3/5],
+	}
+	flip := append([]byte(nil), enc...)
+	flip[len(flip)/2] ^= 0x40
+	damaged["bitflip"] = flip
+
+	for dn, data := range damaged {
+		row, err := AnalyzeStream(bytes.NewReader(data), Options{Lenient: true, Columnar: PathRow})
+		if err != nil {
+			t.Fatalf("%s: lenient row analysis failed: %v", dn, err)
+		}
+		col, err := AnalyzeStream(bytes.NewReader(data), Options{Lenient: true, Columnar: PathColumnar})
+		if err != nil {
+			t.Fatalf("%s: lenient columnar analysis failed: %v", dn, err)
+		}
+		if row.Decode == nil || col.Decode == nil {
+			t.Fatalf("%s: missing DecodeStats (row %v, columnar %v)", dn, row.Decode, col.Decode)
+		}
+		if *row.Decode != *col.Decode {
+			t.Fatalf("%s: DecodeStats diverged: row %+v, columnar %+v", dn, *row.Decode, *col.Decode)
+		}
+		normalizeReport(row, col)
+		if !reflect.DeepEqual(row, col) {
+			t.Fatalf("%s: lenient columnar Report differs from row path", dn)
+		}
+	}
+}

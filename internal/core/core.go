@@ -75,6 +75,37 @@ type Options struct {
 	// Report exists. nil disables logging; the Report is identical either
 	// way.
 	Logger *slog.Logger
+	// Columnar selects the record representation of the pipeline's hot
+	// path. The zero value PathColumnar decodes records straight into
+	// structure-of-arrays column blocks; PathRow is the original
+	// record-at-a-time reference path. The Report is deep-equal either
+	// way (see TestColumnarEquivalence) — the knob exists so the row
+	// path stays exercisable as the reference implementation.
+	Columnar HotPath
+}
+
+// HotPath selects the record representation the analysis pipeline
+// iterates. The zero value is the columnar path.
+type HotPath int
+
+const (
+	// PathColumnar streams structure-of-arrays trace.ColBlock batches
+	// through the pipeline (the default).
+	PathColumnar HotPath = iota
+	// PathRow streams []trace.Record batches — the reference
+	// implementation the columnar path is validated against.
+	PathRow
+)
+
+// String names the hot path for logs and flags.
+func (h HotPath) String() string {
+	switch h {
+	case PathColumnar:
+		return "columnar"
+	case PathRow:
+		return "row"
+	}
+	return fmt.Sprintf("HotPath(%d)", int(h))
 }
 
 // StreamOptions selects how much the analysis may buffer. The zero value
@@ -108,6 +139,7 @@ func (o *Options) pipelineConfig() pipeline.Config {
 		Lenient:          o.Lenient,
 		StallTimeout:     o.StallTimeout,
 		Logger:           o.Logger,
+		Columnar:         o.Columnar == PathColumnar,
 	}
 }
 
@@ -570,7 +602,13 @@ func advise(meta *trace.Metadata, ph *Phase) []string {
 	// Coverage diagnostics: warn when the folded positions betray a
 	// sampling clock correlated with the phase (the reconstruction would
 	// interpolate blindly across the gaps).
-	for c, f := range ph.Folds {
+	// Counter-id order, not map order: which counter the warning names
+	// must not vary run to run.
+	for c := counters.Counter(0); c < counters.NumCounters; c++ {
+		f, ok := ph.Folds[c]
+		if !ok {
+			continue
+		}
 		if d := f.Diagnose(); d.SuspectAliasing {
 			out = append(out, fmt.Sprintf(
 				"warning: %s fold coverage is non-uniform (KS %.2f, max gap %.0f%% of the axis) — sampling may be correlated with phase starts; change the period or add jitter",

@@ -269,6 +269,24 @@ func KernelSmooth(pts []Point, h float64, grid []float64) []float64 {
 // introduces slope jitter when points cluster inside a bin. Points outside
 // [lo, hi] are clamped into the boundary bins.
 func Bin(pts []Point, n int, lo, hi float64) (xs, ys []float64) {
+	return binCols(pts, nil, n, lo, hi)
+}
+
+// BinIso is Bin with the Y values supplied as a separate column: point i
+// contributes (pts[i].X, yCol[i], pts[i].W). This is the shape the
+// folding pipeline's isotonic stage produces, and taking the column
+// directly avoids materializing a full second point slice just to swap
+// the Y values. Accumulation order and arithmetic match Bin exactly, so
+// both layouts produce bit-identical knots.
+func BinIso(pts []Point, yCol []float64, n int, lo, hi float64) (xs, ys []float64) {
+	if len(yCol) != len(pts) {
+		panic(fmt.Sprintf("fit: BinIso column length %d != %d points", len(yCol), len(pts)))
+	}
+	return binCols(pts, yCol, n, lo, hi)
+}
+
+// binCols is the shared binning kernel; a nil yCol means "use pts[i].Y".
+func binCols(pts []Point, yCol []float64, n int, lo, hi float64) (xs, ys []float64) {
 	if n < 1 || hi <= lo {
 		panic(fmt.Sprintf("fit: invalid binning (n=%d, range [%g,%g])", n, lo, hi))
 	}
@@ -276,7 +294,12 @@ func Bin(pts []Point, n int, lo, hi float64) (xs, ys []float64) {
 	sumWX := make([]float64, n)
 	sumWY := make([]float64, n)
 	width := (hi - lo) / float64(n)
-	for _, p := range pts {
+	for i := range pts {
+		p := &pts[i]
+		y := p.Y
+		if yCol != nil {
+			y = yCol[i]
+		}
 		b := int((p.X - lo) / width)
 		if b < 0 {
 			b = 0
@@ -297,7 +320,7 @@ func Bin(pts []Point, n int, lo, hi float64) (xs, ys []float64) {
 		}
 		sumW[b] += w
 		sumWX[b] += w * cx
-		sumWY[b] += w * p.Y
+		sumWY[b] += w * y
 	}
 	prevX := math.Inf(-1)
 	for b := 0; b < n; b++ {

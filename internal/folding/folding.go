@@ -209,7 +209,14 @@ func Fold(instances []Instance, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("%w (%s)", ErrNoSignal, cfg.Counter)
 	}
 
-	// Fold every sample into the synthetic instance.
+	// Fold every sample into the synthetic instance. The cloud is sized
+	// up front — at most one point per attached sample — so the append
+	// loop never reallocates.
+	npts := 0
+	for i := range kept {
+		npts += len(kept[i].Samples)
+	}
+	res.Points = make([]fit.Point, 0, npts)
 	for i := range kept {
 		in := &kept[i]
 		d := float64(in.Duration())
@@ -281,13 +288,11 @@ func Fold(instances []Instance, cfg Config) (*Result, error) {
 }
 
 // fitBinnedPCHIP is the default model: PAVA → bin means → monotone cubic.
+// The isotonic values stay a bare column — BinIso consumes them next to
+// the sorted points, so no intermediate point slice is materialized.
 func fitBinnedPCHIP(res *Result, cfg Config) error {
 	iso := fit.Isotonic(res.Points)
-	isoPts := make([]fit.Point, len(res.Points))
-	for i, p := range res.Points {
-		isoPts[i] = fit.Point{X: p.X, Y: iso[i], W: p.W}
-	}
-	xs, ys := fit.Bin(isoPts, cfg.Bins, 0, 1)
+	xs, ys := fit.BinIso(res.Points, iso, cfg.Bins, 0, 1)
 	xs, ys = addBoundaryKnots(xs, ys)
 	p, err := fit.NewPCHIP(xs, ys)
 	if err != nil {
@@ -317,11 +322,7 @@ func fitKernel(res *Result, cfg Config) error {
 // fitBinned uses raw isotonic bin means with linear interpolation.
 func fitBinned(res *Result, cfg Config) error {
 	iso := fit.Isotonic(res.Points)
-	isoPts := make([]fit.Point, len(res.Points))
-	for i, p := range res.Points {
-		isoPts[i] = fit.Point{X: p.X, Y: iso[i], W: p.W}
-	}
-	xs, ys := fit.Bin(isoPts, cfg.Bins, 0, 1)
+	xs, ys := fit.BinIso(res.Points, iso, cfg.Bins, 0, 1)
 	xs, ys = addBoundaryKnots(xs, ys)
 	res.Cumulative = make([]float64, len(res.Grid))
 	for i, x := range res.Grid {
@@ -426,6 +427,9 @@ func PruneInstances(instances []Instance, k float64, c counters.Counter) (kept [
 	// tiny relative deviations instead of pruning everything unequal.
 	dScale := math.Max(dMAD, 0.001*math.Abs(dMed))
 	tScale := math.Max(tMAD, 0.001*math.Abs(tMed))
+	// Sized for the common case (few or no outliers): one allocation
+	// instead of append doubling — this runs once per phase per counter.
+	kept = make([]Instance, 0, len(instances))
 	for i := range instances {
 		if math.Abs(durs[i]-dMed) > k*dScale || math.Abs(tots[i]-tMed) > k*tScale {
 			pruned++

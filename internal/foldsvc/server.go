@@ -23,6 +23,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -110,13 +111,26 @@ func NewServer(cfg Config) *Server {
 		"Live goroutine count.", nil,
 		func() float64 { return float64(runtime.NumGoroutine()) })
 	// The scratch-slice pools are cumulative counters semantically, but
-	// they are sampled through callbacks, so they render as gauges.
-	for _, typ := range []string{"float64", "int", "int32"} {
+	// they are sampled through callbacks, so they render as gauges. The
+	// type set is discovered from the pools themselves (sorted for a
+	// stable registration order), so new arenas — like the columnar block
+	// pools — show up without touching this list. gets − puts is the
+	// current checkout occupancy; a growing gap means leaked arenas.
+	poolTypes := make([]string, 0, len(parallel.Pools()))
+	for typ := range parallel.Pools() {
+		poolTypes = append(poolTypes, typ)
+	}
+	sort.Strings(poolTypes)
+	for _, typ := range poolTypes {
 		typ := typ
 		s.reg.GaugeFunc("parallel_pool_gets",
 			"Cumulative scratch-slice checkouts from internal/parallel pools.",
 			obs.L("type", typ),
 			func() float64 { return float64(parallel.Pools()[typ].Gets) })
+		s.reg.GaugeFunc("parallel_pool_puts",
+			"Cumulative scratch-slice returns to internal/parallel pools.",
+			obs.L("type", typ),
+			func() float64 { return float64(parallel.Pools()[typ].Puts) })
 		s.reg.GaugeFunc("parallel_pool_misses",
 			"Scratch-slice checkouts that had to allocate (pool miss).",
 			obs.L("type", typ),
@@ -367,7 +381,7 @@ func (s *Server) openLocal(p string) (*os.File, int, error) {
 //
 //	online=1 train=N parallel=N phases=N bins=N model=binned+pchip
 //	counter=PAPI_TOT_INS[,...] knn=auto|brute|kdtree sil_sample=N
-//	min_burst_us=N lenient=1
+//	min_burst_us=N lenient=1 columnar=0|1
 func optionsFromQuery(r *http.Request) (core.Options, error) {
 	q := r.URL.Query()
 	var opts core.Options
@@ -419,6 +433,17 @@ func optionsFromQuery(r *http.Request) (core.Options, error) {
 			return opts, fmt.Errorf("bad lenient=%q: want a boolean", v)
 		}
 		opts.Lenient = on
+	}
+	if v := q.Get("columnar"); v != "" {
+		on, err := strconv.ParseBool(v)
+		if err != nil {
+			return opts, fmt.Errorf("bad columnar=%q: want a boolean", v)
+		}
+		if on {
+			opts.Columnar = core.PathColumnar
+		} else {
+			opts.Columnar = core.PathRow
+		}
 	}
 	if v := q.Get("knn"); v != "" {
 		mode, err := cluster.ParseIndexMode(v)

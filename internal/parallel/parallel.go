@@ -183,20 +183,28 @@ func (sp *slicePool[T]) put(s []T) {
 }
 
 // Pools reports a snapshot of every scratch-slice pool's cumulative
-// statistics, keyed by element type name ("float64", "int", "int32").
-// The daemon's /metrics endpoint renders these as callback gauges.
+// statistics, keyed by element type name ("float64", "int", "int32",
+// "int64", "uint8", "uint32"). The daemon's /metrics endpoint renders
+// these as callback gauges; Gets − Puts of a pool is its current
+// occupancy (slices checked out and not yet returned).
 func Pools() map[string]PoolStats {
 	return map[string]PoolStats{
 		"float64": f64Pool.stats(),
 		"int":     intPool.stats(),
 		"int32":   int32Pool.stats(),
+		"int64":   int64Pool.stats(),
+		"uint8":   uint8Pool.stats(),
+		"uint32":  uint32Pool.stats(),
 	}
 }
 
 var (
-	f64Pool   slicePool[float64]
-	intPool   slicePool[int]
-	int32Pool slicePool[int32]
+	f64Pool    slicePool[float64]
+	intPool    slicePool[int]
+	int32Pool  slicePool[int32]
+	int64Pool  slicePool[int64]
+	uint8Pool  slicePool[uint8]
+	uint32Pool slicePool[uint32]
 )
 
 // GetFloat64 returns a zeroed scratch slice of length n from the pool.
@@ -222,3 +230,27 @@ func GetInt32(n int) []int32 { return int32Pool.get(n) }
 
 // PutInt32 returns a slice obtained from GetInt32 to the pool.
 func PutInt32(s []int32) { int32Pool.put(s) }
+
+// GetInt64 returns a zeroed []int64 scratch slice of length n from the
+// pool; same contract as GetFloat64. The columnar trace blocks carve
+// their timestamp, value and counter columns from this pool.
+func GetInt64(n int) []int64 { return int64Pool.get(n) }
+
+// PutInt64 returns a slice obtained from GetInt64 to the pool.
+func PutInt64(s []int64) { int64Pool.put(s) }
+
+// GetUint8 returns a zeroed []uint8 scratch slice of length n from the
+// pool; same contract as GetFloat64. Backs the byte-wide columns (event
+// types, counter flags) of the columnar trace blocks.
+func GetUint8(n int) []uint8 { return uint8Pool.get(n) }
+
+// PutUint8 returns a slice obtained from GetUint8 to the pool.
+func PutUint8(s []uint8) { uint8Pool.put(s) }
+
+// GetUint32 returns a zeroed []uint32 scratch slice of length n from the
+// pool; same contract as GetFloat64. Backs the shared stack-frame arenas
+// of the columnar trace blocks.
+func GetUint32(n int) []uint32 { return uint32Pool.get(n) }
+
+// PutUint32 returns a slice obtained from GetUint32 to the pool.
+func PutUint32(s []uint32) { uint32Pool.put(s) }

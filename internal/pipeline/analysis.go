@@ -68,6 +68,13 @@ type Config struct {
 	TrainBursts int
 	// BatchSize is the number of records per pipeline block (default 256).
 	BatchSize int
+	// Columnar routes the run through the structure-of-arrays hot path:
+	// records are decoded straight into pooled trace.ColBlock columns and
+	// every stage iterates columns instead of []trace.Record. Output is
+	// deep-equal to the row path (locked by equivalence tests); the row
+	// path remains the reference implementation. core sets this from
+	// Options.Columnar, which defaults it on.
+	Columnar bool
 	// Lenient enables degraded-mode analysis: when the clustering over the
 	// kept bursts degenerates to zero clusters, a duration-quantile
 	// fallback split keeps the run useful (recorded in Outcome.Warnings).
@@ -232,6 +239,14 @@ type analysis struct {
 	phases   map[int]*phaseFold
 	phaseIDs []int
 	rankBuf  []instanceBuf
+
+	// columnar path block recycling: colFree is the freelist the fold
+	// stage feeds and the decode stage drains; colAll tracks every block
+	// ever created (decode goroutine only) so a completed run can return
+	// their arenas to the parallel pools.
+	colFree    chan *cblock
+	colAll     []*cblock
+	stackChunk []uint32 // arena for attached-sample stack copies (exact mode)
 }
 
 // phaseFold bundles one phase's incremental folders.
@@ -274,10 +289,18 @@ func RunContext(ctx context.Context, src trace.Source, cfg Config) (*Outcome, er
 	p.Logger = cfg.Logger
 	stop := p.Watch(ctx)
 	defer stop()
-	blocks := a.decodeStage(p, src)
-	extracted := a.extractStage(p, blocks)
-	phased := a.phaseStage(p, extracted)
-	a.foldStage(p, phased)
+	if cfg.Columnar {
+		a.colFree = make(chan *cblock, 4*blockChanBuf+4)
+		blocks := a.decodeStageCols(p, src)
+		extracted := a.extractStageCols(p, blocks)
+		phased := a.phaseStageCols(p, extracted)
+		a.foldStageCols(p, phased)
+	} else {
+		blocks := a.decodeStage(p, src)
+		extracted := a.extractStage(p, blocks)
+		phased := a.phaseStage(p, extracted)
+		a.foldStage(p, phased)
+	}
 	// Armed only now: the watchdog reads the stage list, which must be
 	// complete before another goroutine looks at it.
 	stopStall := p.WatchStall(cfg.StallTimeout)
@@ -292,7 +315,15 @@ func RunContext(ctx context.Context, src trace.Source, cfg Config) (*Outcome, er
 		}
 		return nil, err
 	}
-	return a.outcome(p), nil
+	out := a.outcome(p)
+	// All stages have returned, so no goroutine can still touch a block:
+	// hand the column arenas back to the pools. Failed runs skip this
+	// (abandoned stages may still hold blocks) and let the GC collect.
+	for _, cb := range a.colAll {
+		cb.cols.Release()
+	}
+	a.colAll = nil
+	return out, nil
 }
 
 func (a *analysis) getBlock() *block {

@@ -1,0 +1,269 @@
+package pipeline
+
+import (
+	"io"
+
+	"repro/internal/burst"
+	"repro/internal/trace"
+)
+
+// cblock is the unit of flow on the columnar path: a pooled
+// structure-of-arrays record batch plus the kept bursts extraction
+// closed while scanning it. Blocks are homogeneous in record kind (the
+// decoder cuts them at section boundaries), so stages dispatch once per
+// block instead of once per record.
+type cblock struct {
+	cols   *trace.ColBlock
+	bursts []burst.Burst
+}
+
+// getCBlock returns a reset block from the freelist, or creates one.
+// Called only by the decode goroutine, which is why colAll needs no
+// lock.
+func (a *analysis) getCBlock() *cblock {
+	select {
+	case cb := <-a.colFree:
+		cb.bursts = cb.bursts[:0]
+		return cb
+	default:
+		cb := &cblock{cols: trace.NewColBlock(a.cfg.BatchSize)}
+		a.colAll = append(a.colAll, cb)
+		return cb
+	}
+}
+
+// putCBlock returns a block to the freelist (dropping it if the list is
+// full; it is then released with the rest at the end of the run).
+func (a *analysis) putCBlock(cb *cblock) {
+	select {
+	case a.colFree <- cb:
+	default:
+	}
+}
+
+// decodeStageCols pumps the source into pooled column blocks — when the
+// source is a StreamReader the records decode straight into the columns
+// with no intermediate Record construction at all.
+func (a *analysis) decodeStageCols(p *Pipeline, src trace.Source) <-chan *cblock {
+	bs := trace.NewBlockSource(src)
+	out := make(chan *cblock, blockChanBuf)
+	p.Go("decode", func(m *Metrics) error {
+		defer close(out)
+		for {
+			cb := a.getCBlock()
+			err := bs.NextBlock(cb.cols)
+			n := cb.cols.Len()
+			m.RecordsOut += int64(n)
+			if n > 0 {
+				if !send(p, out, cb) {
+					return nil
+				}
+			} else {
+				a.putCBlock(cb)
+			}
+			// Identity comparison on purpose: a decode error may *wrap* an
+			// io.EOF cause (truncation inside a record) and must still abort
+			// a strict run.
+			if err == io.EOF {
+				if sr, ok := src.(*trace.StreamReader); ok {
+					m.Bytes = sr.BytesRead()
+					if sr.Mode() == trace.Lenient {
+						st := sr.Stats()
+						a.decode = &st
+					}
+				}
+				return nil
+			}
+			if err != nil {
+				return err
+			}
+		}
+	})
+	return out
+}
+
+// extractStageCols is extractStage over columns: event blocks stream
+// through the burst extractor, profile builder and iteration-marker
+// collector; sample and comm blocks just tally. One scratch Event is
+// assembled per row — the consumers copy what they keep.
+func (a *analysis) extractStageCols(p *Pipeline, in <-chan *cblock) <-chan *cblock {
+	x, _ := burst.NewExtractor(a.meta.Ranks) // ranks >= 1 was validated
+	return Stage(p, "extract", blockChanBuf, in, func(ctx *StageCtx[*cblock], cb *cblock) error {
+		cols := cb.cols
+		n := cols.Len()
+		ctx.Metrics.RecordsIn += int64(n)
+		switch cols.Kind() {
+		case trace.KindEvent:
+			a.records.Events += int64(n)
+			for i := 0; i < n; i++ {
+				e := trace.Event{
+					Rank:  cols.Ranks[i],
+					Time:  trace.Time(cols.Times[i]),
+					Type:  trace.EventType(cols.Types[i]),
+					Value: cols.Values[i],
+				}
+				if cols.Flags[i] != 0 {
+					e.HasCounters = true
+					for c := range cols.Ctrs {
+						e.Counters[c] = cols.Ctrs[c][i]
+					}
+				}
+				b, ok, err := x.Add(&e)
+				if err != nil {
+					return err
+				}
+				if ok {
+					a.bursts++
+					d := b.Duration()
+					a.allTime += d
+					if d >= a.cfg.MinBurstDuration {
+						a.keptTime += d
+						cb.bursts = append(cb.bursts, b)
+					}
+				}
+				a.prof.Add(&e)
+				if e.Type == trace.EvIteration {
+					a.marks[e.Rank] = append(a.marks[e.Rank], e.Time)
+				}
+			}
+		case trace.KindSample:
+			a.records.Samples += int64(n)
+		case trace.KindComm:
+			a.records.Comms += int64(n)
+		}
+		ctx.Metrics.RecordsOut += int64(len(cb.bursts))
+		ctx.Emit(cb)
+		return nil
+	}, nil)
+}
+
+// phaseStageCols is phaseStage over columns; blocks are homogeneous, so
+// "this block carries samples" is just a kind check.
+func (a *analysis) phaseStageCols(p *Pipeline, in <-chan *cblock) <-chan *cblock {
+	name := "cluster"
+	if a.cfg.Online {
+		name = "classify"
+	}
+	return Stage(p, name, blockChanBuf, in, func(ctx *StageCtx[*cblock], cb *cblock) error {
+		ctx.Metrics.RecordsIn += int64(len(cb.bursts))
+		for i := range cb.bursts {
+			if a.cfg.Online && a.classifier != nil {
+				a.classifier.Classify(&cb.bursts[i])
+			}
+			a.kept = append(a.kept, cb.bursts[i])
+			if a.cfg.Online && a.classifier == nil && a.trainErr == nil &&
+				len(a.kept) == a.cfg.TrainBursts {
+				a.train()
+			}
+		}
+		if cb.cols.Kind() == trace.KindSample && !a.finalized {
+			a.finalize(ctx.Metrics)
+		}
+		ctx.Emit(cb)
+		return nil
+	}, func(ctx *StageCtx[*cblock]) error {
+		if !a.finalized {
+			a.finalize(ctx.Metrics)
+		}
+		return nil
+	})
+}
+
+// foldStageCols is the columnar terminal stage: sample blocks route row
+// by row into attachment or incremental folding, and every block goes
+// back to the freelist.
+func (a *analysis) foldStageCols(p *Pipeline, in <-chan *cblock) {
+	name := "attach"
+	if a.cfg.Online {
+		name = "fold"
+	}
+	Sink(p, name, in, func(m *Metrics, cb *cblock) error {
+		if !a.cfg.NoSamples && cb.cols.Kind() == trace.KindSample {
+			for i := 0; i < cb.cols.Len(); i++ {
+				a.routeSampleCols(m, cb.cols, i)
+			}
+		}
+		a.putCBlock(cb)
+		return nil
+	}, func(m *Metrics) error {
+		if a.cfg.Online && !a.cfg.NoSamples {
+			a.flushInstances(m)
+		}
+		return nil
+	})
+}
+
+// routeSampleCols is routeSample reading row i of a sample block
+// directly from its columns — the Sample struct is assembled only for
+// the samples that actually land in a kept burst.
+func (a *analysis) routeSampleCols(m *Metrics, cols *trace.ColBlock, i int) {
+	m.RecordsIn++
+	r := int(cols.Ranks[i])
+	if r < 0 || r >= len(a.byRank) {
+		return
+	}
+	t := trace.Time(cols.Times[i])
+	idx := a.byRank[r]
+	cur := a.cursor[r]
+	if a.cfg.Online {
+		for cur < len(idx) && a.kept[idx[cur]].End <= t {
+			a.closeInstance(m, r, idx[cur])
+			cur++
+		}
+		a.cursor[r] = cur
+		if cur < len(idx) && t >= a.kept[idx[cur]].Start {
+			buf := &a.rankBuf[r]
+			cp := trace.Sample{Rank: cols.Ranks[i], Time: t}
+			for c := range cols.Ctrs {
+				cp.Counters[c] = cols.Ctrs[c][i]
+			}
+			if lo, hi := cols.StackOff[i], cols.StackOff[i+1]; hi > lo {
+				j := len(buf.leaves)
+				buf.leaves = append(buf.leaves, cols.Frames[lo])
+				cp.Stack = buf.leaves[j : j+1 : j+1]
+			}
+			buf.samples = append(buf.samples, cp)
+		}
+		return
+	}
+	for cur < len(idx) && a.kept[idx[cur]].End <= t {
+		cur++
+	}
+	a.cursor[r] = cur
+	if cur < len(idx) && t >= a.kept[idx[cur]].Start {
+		cp := trace.Sample{Rank: cols.Ranks[i], Time: t}
+		for c := range cols.Ctrs {
+			cp.Counters[c] = cols.Ctrs[c][i]
+		}
+		cp.Stack = a.stackSlice(cols.Frames[cols.StackOff[i]:cols.StackOff[i+1]])
+		ki := idx[cur]
+		a.attached[ki] = append(a.attached[ki], cp)
+		m.RecordsOut++
+	}
+}
+
+// stackSlice copies frames into a chunked append-only arena and returns
+// a capacity-capped alias, replacing the per-sample slices.Clone of the
+// row path. Returned slices outlive the run (they end up in the
+// Report's attached samples), so chunks come from the regular heap, not
+// the pools. An empty stack returns nil, matching the row decoder.
+func (a *analysis) stackSlice(frames []uint32) []uint32 {
+	need := len(frames)
+	if need == 0 {
+		return nil
+	}
+	if cap(a.stackChunk)-len(a.stackChunk) < need {
+		size := 2 * cap(a.stackChunk)
+		if size < 1024 {
+			size = 1024
+		}
+		if size < need {
+			size = need
+		}
+		// Previous chunks stay alive through the slices already handed out.
+		a.stackChunk = make([]uint32, 0, size)
+	}
+	j := len(a.stackChunk)
+	a.stackChunk = append(a.stackChunk, frames...)
+	return a.stackChunk[j : j+need : j+need]
+}

@@ -1,0 +1,462 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/counters"
+	"repro/internal/parallel"
+)
+
+// ErrBlockFull reports an append to a ColBlock that already holds Cap()
+// rows. Callers drain the block (send it downstream, or iterate it) and
+// Reset before appending more.
+var ErrBlockFull = errors.New("trace: column block full")
+
+// ErrColumnMismatch reports a ColBlock whose parallel columns do not all
+// cover the rows an operation needs — the result of tampering with the
+// exported column slices. Appends and row reads validate against it and
+// return the error instead of indexing out of range.
+var ErrColumnMismatch = errors.New("trace: column block length mismatch")
+
+// ColBlock is a fixed-capacity structure-of-arrays batch of records of
+// one Kind. Where a []Record stores an array of structs, a ColBlock
+// stores parallel columns — one contiguous slice per field — so the hot
+// consumers (burst extraction, fold bin accumulation, k-d tree bulk
+// load) scan cache-line-friendly columns instead of pointer-striding
+// 150-byte structs. Column backing arrays are carved from the
+// internal/parallel scratch pools, so a Reset/Release'd block recycles
+// its memory instead of re-allocating per batch.
+//
+// Only rows [0, Len()) are valid. All rows share the block's Kind; the
+// columns of the other kinds are present but unused. Per-kind column
+// usage:
+//
+//   - KindEvent: Times, Ranks, Types, Values, Flags (0 = no counters,
+//     1 = Ctrs row valid), Ctrs
+//   - KindSample: Times, Ranks, Ctrs, and the CSR stack storage
+//     StackOff/Frames (row i's frames are Frames[StackOff[i]:StackOff[i+1]])
+//   - KindComm: Times (send), Recvs, Ranks (source), Dsts, Sizes, Tags
+//
+// A ColBlock is not safe for concurrent use.
+type ColBlock struct {
+	// Times holds the per-row primary timestamp (event time, sample
+	// time, or comm send time) as int64 nanoseconds.
+	Times []int64
+	// Ranks holds the per-row rank (comm rows: source rank).
+	Ranks []int32
+	// Types holds event types (KindEvent only).
+	Types []uint8
+	// Values holds event values (KindEvent only).
+	Values []int64
+	// Flags holds per-event counter presence: 0 = none, 1 = the Ctrs row
+	// is a valid snapshot (KindEvent only).
+	Flags []uint8
+	// Ctrs holds one column per hardware counter; Ctrs[c][i] is counter
+	// c of row i (KindEvent rows with Flags[i] == 1, and all KindSample
+	// rows).
+	Ctrs [counters.NumCounters][]int64
+	// Recvs holds comm receive times (KindComm only).
+	Recvs []int64
+	// Dsts holds comm destination ranks (KindComm only).
+	Dsts []int32
+	// Sizes holds comm message sizes (KindComm only).
+	Sizes []int64
+	// Tags holds comm message tags (KindComm only).
+	Tags []int32
+	// StackOff is the CSR offset column for sample stacks: row i's
+	// frames span Frames[StackOff[i]:StackOff[i+1]]. len(StackOff) is
+	// Cap()+1 and StackOff[Len()] is always len(Frames).
+	StackOff []int32
+	// Frames is the shared frame arena all sample stacks index into.
+	Frames []uint32
+
+	kind     Kind
+	n        int
+	capacity int
+	a64      []int64 // arena backing Times/Values/Recvs/Sizes/Ctrs
+	a32      []int32 // arena backing Ranks/Dsts/Tags/StackOff
+	a8       []uint8 // arena backing Types/Flags
+}
+
+// NewColBlock allocates a block able to hold up to capacity rows of any
+// kind, carving its columns from the parallel scratch pools. Release
+// returns the backing memory to the pools.
+func NewColBlock(capacity int) *ColBlock {
+	if capacity < 1 {
+		capacity = 1
+	}
+	b := &ColBlock{capacity: capacity}
+	nc := int(counters.NumCounters)
+	b.a64 = parallel.GetInt64(capacity * (4 + nc))
+	b.a32 = parallel.GetInt32(capacity*4 + 1)
+	b.a8 = parallel.GetUint8(capacity * 2)
+
+	b.Times = b.a64[0:capacity:capacity]
+	b.Values = b.a64[capacity : 2*capacity : 2*capacity]
+	b.Recvs = b.a64[2*capacity : 3*capacity : 3*capacity]
+	b.Sizes = b.a64[3*capacity : 4*capacity : 4*capacity]
+	for c := 0; c < nc; c++ {
+		lo := (4 + c) * capacity
+		b.Ctrs[c] = b.a64[lo : lo+capacity : lo+capacity]
+	}
+	b.Ranks = b.a32[0:capacity:capacity]
+	b.Dsts = b.a32[capacity : 2*capacity : 2*capacity]
+	b.Tags = b.a32[2*capacity : 3*capacity : 3*capacity]
+	b.StackOff = b.a32[3*capacity : 4*capacity+1 : 4*capacity+1]
+	b.Types = b.a8[0:capacity:capacity]
+	b.Flags = b.a8[capacity : 2*capacity : 2*capacity]
+	b.Frames = parallel.GetUint32(capacity)[:0]
+	return b
+}
+
+// Kind returns the record kind the block currently holds.
+func (b *ColBlock) Kind() Kind { return b.kind }
+
+// Len returns the number of valid rows.
+func (b *ColBlock) Len() int { return b.n }
+
+// Cap returns the row capacity the block was allocated with.
+func (b *ColBlock) Cap() int { return b.capacity }
+
+// Reset empties the block and re-types it to hold records of kind k.
+// Column memory is retained for reuse.
+func (b *ColBlock) Reset(k Kind) {
+	b.kind = k
+	b.n = 0
+	b.Frames = b.Frames[:0]
+	if len(b.StackOff) > 0 {
+		b.StackOff[0] = 0
+	}
+}
+
+// Release returns the block's column memory to the parallel pools and
+// zeroes the block. The block (and any column slice taken from it) must
+// not be used afterwards.
+func (b *ColBlock) Release() {
+	if b.a64 != nil {
+		parallel.PutInt64(b.a64)
+	}
+	if b.a32 != nil {
+		parallel.PutInt32(b.a32)
+	}
+	if b.a8 != nil {
+		parallel.PutUint8(b.a8)
+	}
+	if b.Frames != nil {
+		parallel.PutUint32(b.Frames)
+	}
+	*b = ColBlock{}
+}
+
+// room validates that one more row of kind k fits: the block must hold
+// kind k (or be empty), have spare capacity, and every column the kind
+// uses must still cover the new row. It returns ErrBlockFull or
+// ErrColumnMismatch instead of letting an append index out of range.
+func (b *ColBlock) room(k Kind) error {
+	if b.n == 0 {
+		b.kind = k
+	} else if b.kind != k {
+		return fmt.Errorf("trace: appending %v record to %v block", k, b.kind)
+	}
+	if b.n >= b.capacity {
+		return ErrBlockFull
+	}
+	need := b.n + 1
+	if len(b.Times) < need || len(b.Ranks) < need {
+		return fmt.Errorf("%w: Times/Ranks shorter than %d rows", ErrColumnMismatch, need)
+	}
+	switch k {
+	case KindEvent:
+		if len(b.Types) < need || len(b.Values) < need || len(b.Flags) < need {
+			return fmt.Errorf("%w: event columns shorter than %d rows", ErrColumnMismatch, need)
+		}
+		for c := range b.Ctrs {
+			if len(b.Ctrs[c]) < need {
+				return fmt.Errorf("%w: counter column %d shorter than %d rows", ErrColumnMismatch, c, need)
+			}
+		}
+	case KindSample:
+		for c := range b.Ctrs {
+			if len(b.Ctrs[c]) < need {
+				return fmt.Errorf("%w: counter column %d shorter than %d rows", ErrColumnMismatch, c, need)
+			}
+		}
+		if len(b.StackOff) < need+1 {
+			return fmt.Errorf("%w: StackOff shorter than %d offsets", ErrColumnMismatch, need+1)
+		}
+	case KindComm:
+		if len(b.Recvs) < need || len(b.Dsts) < need || len(b.Sizes) < need || len(b.Tags) < need {
+			return fmt.Errorf("%w: comm columns shorter than %d rows", ErrColumnMismatch, need)
+		}
+	}
+	return nil
+}
+
+// AppendEvent appends an event row. It returns ErrBlockFull when the
+// block is at capacity and ErrColumnMismatch when the columns have been
+// shortened below what the row needs.
+func (b *ColBlock) AppendEvent(e *Event) error {
+	if err := b.room(KindEvent); err != nil {
+		return err
+	}
+	i := b.n
+	b.Times[i] = int64(e.Time)
+	b.Ranks[i] = e.Rank
+	b.Types[i] = uint8(e.Type)
+	b.Values[i] = e.Value
+	if e.HasCounters {
+		b.Flags[i] = 1
+		for c := range b.Ctrs {
+			b.Ctrs[c][i] = e.Counters[c]
+		}
+	} else {
+		b.Flags[i] = 0
+		for c := range b.Ctrs {
+			b.Ctrs[c][i] = 0
+		}
+	}
+	b.n = i + 1
+	return nil
+}
+
+// AppendSample appends a sample row, copying its stack frames into the
+// block's frame arena. Errors are as for AppendEvent.
+func (b *ColBlock) AppendSample(s *Sample) error {
+	if err := b.room(KindSample); err != nil {
+		return err
+	}
+	i := b.n
+	b.Times[i] = int64(s.Time)
+	b.Ranks[i] = s.Rank
+	for c := range b.Ctrs {
+		b.Ctrs[c][i] = s.Counters[c]
+	}
+	b.growFrames(len(s.Stack))
+	b.Frames = append(b.Frames, s.Stack...)
+	b.StackOff[i+1] = int32(len(b.Frames))
+	b.n = i + 1
+	return nil
+}
+
+// AppendComm appends a communication row. Errors are as for AppendEvent.
+func (b *ColBlock) AppendComm(c *Comm) error {
+	if err := b.room(KindComm); err != nil {
+		return err
+	}
+	i := b.n
+	b.Times[i] = int64(c.SendTime)
+	b.Recvs[i] = int64(c.RecvTime)
+	b.Ranks[i] = c.Src
+	b.Dsts[i] = c.Dst
+	b.Sizes[i] = c.Size
+	b.Tags[i] = c.Tag
+	b.n = i + 1
+	return nil
+}
+
+// AppendRecord appends rec to the block, dispatching on its kind.
+func (b *ColBlock) AppendRecord(rec *Record) error {
+	switch rec.Kind {
+	case KindEvent:
+		return b.AppendEvent(&rec.Event)
+	case KindSample:
+		return b.AppendSample(&rec.Sample)
+	case KindComm:
+		return b.AppendComm(&rec.Comm)
+	}
+	return fmt.Errorf("trace: append of unknown record kind %d", rec.Kind)
+}
+
+// RecordAt reconstructs row i as a Record — the bridge back from the
+// columnar to the row representation, used by tests and by consumers
+// that need an occasional full record. A sample's Stack aliases the
+// block's frame arena (capacity-capped, so appends cannot clobber it)
+// and is nil when the stack is empty, matching the row decoder.
+func (b *ColBlock) RecordAt(i int, rec *Record) error {
+	if i < 0 || i >= b.n {
+		return fmt.Errorf("trace: block row %d out of range [0, %d)", i, b.n)
+	}
+	if err := b.checkCols(); err != nil {
+		return err
+	}
+	rec.Kind = b.kind
+	switch b.kind {
+	case KindEvent:
+		e := &rec.Event
+		*e = Event{
+			Rank:  b.Ranks[i],
+			Time:  Time(b.Times[i]),
+			Type:  EventType(b.Types[i]),
+			Value: b.Values[i],
+		}
+		if b.Flags[i] != 0 {
+			e.HasCounters = true
+			for c := range b.Ctrs {
+				e.Counters[c] = b.Ctrs[c][i]
+			}
+		}
+	case KindSample:
+		s := &rec.Sample
+		*s = Sample{Rank: b.Ranks[i], Time: Time(b.Times[i])}
+		for c := range b.Ctrs {
+			s.Counters[c] = b.Ctrs[c][i]
+		}
+		lo, hi := b.StackOff[i], b.StackOff[i+1]
+		if hi > lo {
+			s.Stack = b.Frames[lo:hi:hi]
+		}
+	case KindComm:
+		rec.Comm = Comm{
+			Src:      b.Ranks[i],
+			Dst:      b.Dsts[i],
+			SendTime: Time(b.Times[i]),
+			RecvTime: Time(b.Recvs[i]),
+			Size:     b.Sizes[i],
+			Tag:      b.Tags[i],
+		}
+	}
+	return nil
+}
+
+// checkCols validates that every column the block's kind uses covers all
+// n valid rows.
+func (b *ColBlock) checkCols() error {
+	if len(b.Times) < b.n || len(b.Ranks) < b.n {
+		return fmt.Errorf("%w: Times/Ranks shorter than %d rows", ErrColumnMismatch, b.n)
+	}
+	switch b.kind {
+	case KindEvent:
+		if len(b.Types) < b.n || len(b.Values) < b.n || len(b.Flags) < b.n {
+			return fmt.Errorf("%w: event columns shorter than %d rows", ErrColumnMismatch, b.n)
+		}
+		for c := range b.Ctrs {
+			if len(b.Ctrs[c]) < b.n {
+				return fmt.Errorf("%w: counter column %d shorter than %d rows", ErrColumnMismatch, c, b.n)
+			}
+		}
+	case KindSample:
+		for c := range b.Ctrs {
+			if len(b.Ctrs[c]) < b.n {
+				return fmt.Errorf("%w: counter column %d shorter than %d rows", ErrColumnMismatch, c, b.n)
+			}
+		}
+		if len(b.StackOff) < b.n+1 {
+			return fmt.Errorf("%w: StackOff shorter than %d offsets", ErrColumnMismatch, b.n+1)
+		}
+	case KindComm:
+		if len(b.Recvs) < b.n || len(b.Dsts) < b.n || len(b.Sizes) < b.n || len(b.Tags) < b.n {
+			return fmt.Errorf("%w: comm columns shorter than %d rows", ErrColumnMismatch, b.n)
+		}
+	}
+	return nil
+}
+
+// Validate checks the block's structural invariants: all used columns
+// cover Len() rows, and for sample blocks the CSR stack offsets are
+// monotone and within the frame arena.
+func (b *ColBlock) Validate() error {
+	if b.n < 0 || b.n > b.capacity {
+		return fmt.Errorf("trace: block length %d outside [0, %d]", b.n, b.capacity)
+	}
+	if err := b.checkCols(); err != nil {
+		return err
+	}
+	if b.kind == KindSample && b.n > 0 {
+		if b.StackOff[0] != 0 {
+			return fmt.Errorf("%w: StackOff[0] = %d, want 0", ErrColumnMismatch, b.StackOff[0])
+		}
+		for i := 0; i < b.n; i++ {
+			lo, hi := b.StackOff[i], b.StackOff[i+1]
+			if lo > hi || int(hi) > len(b.Frames) {
+				return fmt.Errorf("%w: StackOff[%d:%d] = [%d, %d] outside frame arena of %d",
+					ErrColumnMismatch, i, i+1, lo, hi, len(b.Frames))
+			}
+		}
+	}
+	return nil
+}
+
+// growFrames ensures the frame arena has room for need more frames,
+// re-carving a larger pooled slice when necessary.
+func (b *ColBlock) growFrames(need int) {
+	if len(b.Frames)+need <= cap(b.Frames) {
+		return
+	}
+	want := len(b.Frames) + need
+	if w := 2 * cap(b.Frames); w > want {
+		want = w
+	}
+	nf := parallel.GetUint32(want)[:len(b.Frames)]
+	copy(nf, b.Frames)
+	old := b.Frames
+	b.Frames = nf
+	parallel.PutUint32(old)
+}
+
+// BlockSource adapts any row Source into a block producer: NextBlock
+// fills a ColBlock with consecutive same-kind records. When the
+// underlying source is a *StreamReader the records are decoded straight
+// into the block's columns with no intermediate Record at all.
+type BlockSource struct {
+	src     Source
+	pending Record
+	held    bool
+	done    bool
+}
+
+// NewBlockSource wraps src in a BlockSource.
+func NewBlockSource(src Source) *BlockSource {
+	return &BlockSource{src: src}
+}
+
+// Meta returns the underlying source's metadata.
+func (bs *BlockSource) Meta() *Metadata { return bs.src.Meta() }
+
+// NextBlock fills blk with the next run of same-kind records, resetting
+// it first. It returns io.EOF only for an empty block — a partially
+// filled block at end of stream is returned with a nil error, and the
+// following call reports io.EOF. Any other error aborts the stream.
+func (bs *BlockSource) NextBlock(blk *ColBlock) error {
+	if sr, ok := bs.src.(*StreamReader); ok {
+		return sr.NextBlock(blk)
+	}
+	// Empty the block up front so a recycled block never carries stale
+	// rows out of an EOF or error return.
+	blk.Reset(blk.kind)
+	if bs.done {
+		return io.EOF
+	}
+	if !bs.held {
+		if err := bs.src.Next(&bs.pending); err != nil {
+			if err == io.EOF {
+				bs.done = true
+				return io.EOF
+			}
+			return err
+		}
+		bs.held = true
+	}
+	blk.Reset(bs.pending.Kind)
+	for {
+		if bs.pending.Kind != blk.Kind() || blk.Len() >= blk.Cap() {
+			return nil // pending record opens the next block
+		}
+		if err := blk.AppendRecord(&bs.pending); err != nil {
+			return err
+		}
+		bs.held = false
+		if err := bs.src.Next(&bs.pending); err != nil {
+			if err == io.EOF {
+				bs.done = true
+				if blk.Len() > 0 {
+					return nil
+				}
+				return io.EOF
+			}
+			return err
+		}
+		bs.held = true
+	}
+}

@@ -1,0 +1,311 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// colFeaturedTrace builds a small trace exercising every record shape:
+// events with and without counters, samples with and without stacks,
+// and comms.
+func colFeaturedTrace(t testing.TB) *Trace {
+	t.Helper()
+	b := NewBuilder("colblock", 2)
+	b.SetSamplePeriod(1000)
+	rA := b.Region("solve")
+	rB := b.Region("main")
+	b.Event(0, 0, EvIteration, 1)
+	b.EventC(0, 10, EvMPI, int64(MPIBarrier), []int64{50, 100, 2, 1, 10})
+	b.Event(1, 12, EvMPI, int64(MPIBarrier))
+	b.EventC(0, 20, EvMPI, 0, []int64{50, 120, 2, 1, 10})
+	b.Event(1, 25, EvMPI, 0)
+	b.Sample(0, 500, []int64{100, 200, 5, 1, 50}, []uint32{rA, rB})
+	b.Sample(1, 700, []int64{90, 180, 3, 1, 40}, nil)
+	b.Sample(0, 1500, []int64{150, 300, 7, 2, 70}, []uint32{rA})
+	b.Comm(0, 1, 800, 850, 4096, 7)
+	b.Comm(1, 0, 900, 960, 128, 8)
+	return b.Build()
+}
+
+// collectRows drains src record-at-a-time.
+func collectRows(t *testing.T, src Source) []Record {
+	t.Helper()
+	var out []Record
+	var rec Record
+	for {
+		err := src.Next(&rec)
+		if errors.Is(err, io.EOF) {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("Next: %v", err)
+		}
+		out = append(out, normRecord(&rec))
+	}
+}
+
+// normRecord deep-copies rec's active variant into a fresh Record so
+// comparisons ignore stale storage in the inactive variants (Source is
+// allowed to reuse them).
+func normRecord(rec *Record) Record {
+	out := Record{Kind: rec.Kind}
+	switch rec.Kind {
+	case KindEvent:
+		out.Event = rec.Event
+	case KindSample:
+		out.Sample = rec.Sample
+		out.Sample.Stack = append([]uint32(nil), rec.Sample.Stack...)
+		if len(out.Sample.Stack) == 0 {
+			out.Sample.Stack = nil
+		}
+	case KindComm:
+		out.Comm = rec.Comm
+	}
+	return out
+}
+
+// collectBlocks drains bs block-at-a-time through blocks of capacity
+// blockCap, reconstructing rows with RecordAt. Every block is validated
+// before use.
+func collectBlocks(t *testing.T, bs *BlockSource, blockCap int) []Record {
+	t.Helper()
+	blk := NewColBlock(blockCap)
+	defer blk.Release()
+	var out []Record
+	for {
+		err := bs.NextBlock(blk)
+		if errors.Is(err, io.EOF) {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("NextBlock: %v", err)
+		}
+		if err := blk.Validate(); err != nil {
+			t.Fatalf("Validate: %v", err)
+		}
+		for i := 0; i < blk.Len(); i++ {
+			var rec Record
+			if err := blk.RecordAt(i, &rec); err != nil {
+				t.Fatalf("RecordAt(%d): %v", i, err)
+			}
+			out = append(out, normRecord(&rec))
+		}
+	}
+}
+
+// TestColBlockRoundTrip checks that records pushed through a BlockSource
+// (over an in-memory trace) reconstruct exactly, across block capacities
+// that do and do not divide the section sizes.
+func TestColBlockRoundTrip(t *testing.T) {
+	tr := colFeaturedTrace(t)
+	want := collectRows(t, NewTraceSource(tr))
+	for _, capacity := range []int{1, 2, 3, 64} {
+		got := collectBlocks(t, NewBlockSource(NewTraceSource(tr)), capacity)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("cap %d: block round trip diverged from row iteration", capacity)
+		}
+	}
+}
+
+// TestStreamReaderNextBlock checks that the strict decode-into-block
+// path yields exactly the rows the record-at-a-time decoder yields.
+func TestStreamReaderNextBlock(t *testing.T) {
+	tr := colFeaturedTrace(t)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+
+	srRow, err := NewStreamReader(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := collectRows(t, srRow)
+
+	for _, capacity := range []int{1, 3, 256} {
+		srCol, err := NewStreamReader(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := collectBlocks(t, NewBlockSource(srCol), capacity)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("cap %d: columnar decode diverged from row decode", capacity)
+		}
+	}
+}
+
+// TestStreamReaderNextBlockLenient checks that the lenient block path
+// salvages exactly the rows the lenient row path salvages — including
+// identical DecodeStats — on truncated and bit-flipped input.
+func TestStreamReaderNextBlockLenient(t *testing.T) {
+	tr := colFeaturedTrace(t)
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	enc := buf.Bytes()
+	damaged := [][]byte{enc}
+	for _, frac := range []int{30, 55, 80, 95} {
+		damaged = append(damaged, enc[:len(enc)*frac/100])
+	}
+	for _, pos := range []int{len(enc) / 2, len(enc) * 2 / 3, len(enc) - 5} {
+		mut := append([]byte(nil), enc...)
+		mut[pos] ^= 0x40
+		damaged = append(damaged, mut)
+	}
+
+	for di, data := range damaged {
+		srRow, err := NewStreamReaderMode(bytes.NewReader(data), Lenient)
+		if err != nil {
+			continue // header damage is fatal in both paths
+		}
+		want := collectRows(t, srRow)
+		srCol, err := NewStreamReaderMode(bytes.NewReader(data), Lenient)
+		if err != nil {
+			t.Fatalf("input %d: row header decoded but columnar failed: %v", di, err)
+		}
+		got := collectBlocks(t, NewBlockSource(srCol), 3)
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("input %d: lenient columnar rows diverged from row path", di)
+		}
+		if srRow.Stats() != srCol.Stats() {
+			t.Fatalf("input %d: DecodeStats diverged: row %+v, columnar %+v",
+				di, srRow.Stats(), srCol.Stats())
+		}
+	}
+}
+
+// TestColBlockColumnMismatch locks the satellite fix: a block whose
+// parallel columns were shortened must reject appends and row reads with
+// ErrColumnMismatch instead of indexing out of range.
+func TestColBlockColumnMismatch(t *testing.T) {
+	ev := Event{Rank: 1, Time: 10, Type: EvMPI, Value: 3}
+	sm := Sample{Rank: 0, Time: 20, Stack: []uint32{1}}
+	cm := Comm{Src: 0, Dst: 1, SendTime: 5, RecvTime: 9, Size: 64, Tag: 2}
+
+	tamper := []struct {
+		name string
+		kind Kind
+		mod  func(b *ColBlock)
+	}{
+		{"times", KindEvent, func(b *ColBlock) { b.Times = b.Times[:0] }},
+		{"ranks", KindSample, func(b *ColBlock) { b.Ranks = b.Ranks[:1] }},
+		{"flags", KindEvent, func(b *ColBlock) { b.Flags = b.Flags[:1] }},
+		{"values", KindEvent, func(b *ColBlock) { b.Values = nil }},
+		{"ctrs", KindSample, func(b *ColBlock) { b.Ctrs[2] = b.Ctrs[2][:1] }},
+		{"stackoff", KindSample, func(b *ColBlock) { b.StackOff = b.StackOff[:1] }},
+		{"recvs", KindComm, func(b *ColBlock) { b.Recvs = nil }},
+		{"tags", KindComm, func(b *ColBlock) { b.Tags = b.Tags[:1] }},
+	}
+	for _, tc := range tamper {
+		t.Run(tc.name, func(t *testing.T) {
+			b := NewColBlock(8)
+			defer b.Release()
+			b.Reset(tc.kind)
+			appendOne := func() error {
+				switch tc.kind {
+				case KindEvent:
+					return b.AppendEvent(&ev)
+				case KindSample:
+					return b.AppendSample(&sm)
+				default:
+					return b.AppendComm(&cm)
+				}
+			}
+			if err := appendOne(); err != nil {
+				t.Fatalf("append to fresh block: %v", err)
+			}
+			tc.mod(b)
+			if err := appendOne(); !errors.Is(err, ErrColumnMismatch) {
+				t.Fatalf("append to tampered block: got %v, want ErrColumnMismatch", err)
+			}
+			if err := b.Validate(); !errors.Is(err, ErrColumnMismatch) {
+				// Tampering that still covers the existing row is legal for
+				// Validate; only appends must fail. Times/Ranks/StackOff cuts
+				// below the row count must be caught though.
+				if tc.name == "times" || tc.name == "stackoff" {
+					t.Fatalf("Validate after %s cut: got %v, want ErrColumnMismatch", tc.name, err)
+				}
+			}
+		})
+	}
+}
+
+// TestColBlockFullAndKind covers the remaining append guards: capacity
+// exhaustion and kind mixing.
+func TestColBlockFullAndKind(t *testing.T) {
+	b := NewColBlock(2)
+	defer b.Release()
+	ev := Event{Rank: 0, Time: 1}
+	if err := b.AppendEvent(&ev); err != nil {
+		t.Fatal(err)
+	}
+	sm := Sample{Rank: 0, Time: 2}
+	if err := b.AppendSample(&sm); err == nil {
+		t.Fatal("appending a sample to an event block succeeded")
+	}
+	if err := b.AppendEvent(&ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.AppendEvent(&ev); !errors.Is(err, ErrBlockFull) {
+		t.Fatalf("append past capacity: got %v, want ErrBlockFull", err)
+	}
+	if got := b.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	b.Reset(KindSample)
+	if b.Len() != 0 || b.Kind() != KindSample {
+		t.Fatalf("Reset left Len=%d Kind=%v", b.Len(), b.Kind())
+	}
+	if err := b.AppendSample(&sm); err != nil {
+		t.Fatalf("append after Reset: %v", err)
+	}
+	var rec Record
+	if err := b.RecordAt(1, &rec); err == nil {
+		t.Fatal("RecordAt past Len succeeded")
+	}
+}
+
+// TestColBlockFrameArenaGrowth checks that deep stacks overflow the
+// initial frame arena correctly: the CSR offsets stay consistent and all
+// frames survive the arena re-carve.
+func TestColBlockFrameArenaGrowth(t *testing.T) {
+	b := NewColBlock(4) // initial frame arena capacity 4
+	defer b.Release()
+	b.Reset(KindSample)
+	stacks := [][]uint32{
+		{1, 2, 3},
+		{4, 5, 6, 7, 8},
+		nil,
+		{9},
+	}
+	for i, st := range stacks {
+		s := Sample{Rank: int32(i), Time: Time(i * 10), Stack: st}
+		if err := b.AppendSample(&s); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, st := range stacks {
+		var rec Record
+		if err := b.RecordAt(i, &rec); err != nil {
+			t.Fatal(err)
+		}
+		got := rec.Sample.Stack
+		if len(st) == 0 {
+			if got != nil {
+				t.Fatalf("row %d: empty stack reconstructed as %v", i, got)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(append([]uint32(nil), st...), append([]uint32(nil), got...)) {
+			t.Fatalf("row %d: stack %v, want %v", i, got, st)
+		}
+	}
+}

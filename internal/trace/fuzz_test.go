@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"errors"
+	"io"
 	"reflect"
 	"testing"
 )
@@ -97,6 +98,97 @@ func addDamagedSeeds(f *testing.F, tr *Trace) {
 		mut[pos] ^= 0x40
 		f.Add(mut)
 	}
+}
+
+// FuzzReadIntoBlock fuzzes the columnar decode path against the row
+// path. For arbitrary input the block decoder must never panic, every
+// returned block must pass Validate, and a lenient block decode must
+// salvage exactly the records — and report exactly the DecodeStats —
+// of a lenient row decode of the same bytes.
+func FuzzReadIntoBlock(f *testing.F) {
+	seed := func(tr *Trace) {
+		var buf bytes.Buffer
+		if err := tr.Write(&buf); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+	}
+	b := NewBuilder("fuzz-block", 2)
+	b.SetSamplePeriod(1000)
+	rA := b.Region("solve")
+	rB := b.Region("main")
+	b.Event(0, 0, EvIteration, 1)
+	b.EventC(0, 10, EvMPI, int64(MPIBarrier), []int64{50, 100, 2, 1, 10})
+	b.Event(0, 20, EvMPI, 0)
+	b.Sample(0, 500, []int64{100, 200, 5, 1, 50}, []uint32{rA, rB})
+	b.Sample(1, 700, []int64{90, 180, 3, 1, 40}, nil)
+	b.Comm(0, 1, 800, 850, 4096, 7)
+	featured := b.Build()
+	seed(featured)
+	seed(NewBuilder("empty", 1).Build())
+	addDamagedSeeds(f, featured)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		srRow, err := NewStreamReaderMode(bytes.NewReader(data), Lenient)
+		if err != nil {
+			// Header corruption fails both paths identically.
+			if _, err2 := NewStreamReaderMode(bytes.NewReader(data), Lenient); err2 == nil {
+				t.Fatal("header decode not deterministic")
+			}
+			return
+		}
+		var want []Record
+		var rec Record
+		for {
+			err := srRow.Next(&rec)
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatalf("lenient row decode failed: %v", err)
+			}
+			want = append(want, normRecord(&rec))
+		}
+
+		srCol, err := NewStreamReaderMode(bytes.NewReader(data), Lenient)
+		if err != nil {
+			t.Fatalf("row header decoded but columnar header failed: %v", err)
+		}
+		// A small odd capacity forces plenty of block boundaries.
+		blk := NewColBlock(7)
+		defer blk.Release()
+		var got []Record
+		for {
+			err := srCol.NextBlock(blk)
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			if err != nil {
+				t.Fatalf("lenient block decode failed: %v", err)
+			}
+			if err := blk.Validate(); err != nil {
+				t.Fatalf("invalid block from decoder: %v", err)
+			}
+			for i := 0; i < blk.Len(); i++ {
+				var r Record
+				if err := blk.RecordAt(i, &r); err != nil {
+					t.Fatalf("RecordAt(%d): %v", i, err)
+				}
+				got = append(got, normRecord(&r))
+			}
+		}
+		if len(want) != len(got) {
+			t.Fatalf("row path salvaged %d records, columnar %d", len(want), len(got))
+		}
+		for i := range want {
+			if !reflect.DeepEqual(want[i], got[i]) {
+				t.Fatalf("record %d diverged:\nrow      %+v\ncolumnar %+v", i, want[i], got[i])
+			}
+		}
+		if srRow.Stats() != srCol.Stats() {
+			t.Fatalf("DecodeStats diverged: row %+v, columnar %+v", srRow.Stats(), srCol.Stats())
+		}
+	})
 }
 
 // FuzzReadFromLenient fuzzes the salvage decoder. For arbitrary input it

@@ -162,6 +162,11 @@ type StreamReader struct {
 	counts   [numKinds]uint64
 	stats    DecodeStats
 	err      error // sticky terminal state (io.EOF or a decode error)
+
+	// pending buffers the record that ended a lenient NextBlock batch
+	// (a kind change); it opens the next block.
+	pending    Record
+	hasPending bool
 }
 
 // NewStreamReader opens a streaming decoder over r, reading the header

@@ -1,0 +1,247 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"io"
+
+	"repro/internal/counters"
+)
+
+// NextBlock fills blk with the next run of same-kind records, resetting
+// it first. In Strict mode records are decoded straight into blk's
+// columns — no intermediate Record is built — while Lenient mode routes
+// through the salvage loop so both paths drop exactly the same records.
+// A block ends at the section boundary or at blk.Cap(), whichever comes
+// first, so every block is homogeneous in kind.
+//
+// NextBlock returns io.EOF only when no rows were produced; a partial
+// block at end of stream comes back with a nil error and the next call
+// reports io.EOF. On a decode error the rows already in blk are valid.
+// Do not interleave Next and NextBlock calls on one reader.
+func (sr *StreamReader) NextBlock(blk *ColBlock) error {
+	// Empty the block up front so a recycled block never carries stale
+	// rows out of an EOF or error return.
+	blk.Reset(blk.kind)
+	if sr.err != nil {
+		return sr.err
+	}
+	if sr.mode == Lenient {
+		return sr.nextBlockLenient(blk)
+	}
+	for sr.left == 0 {
+		if sr.counted {
+			sr.kind++
+			sr.counted = false
+		}
+		if sr.kind >= numKinds {
+			return sr.fail(io.EOF)
+		}
+		if err := sr.beginSection(); err != nil {
+			return sr.fail(err)
+		}
+	}
+	blk.Reset(sr.kind)
+	for sr.left > 0 && blk.Len() < blk.Cap() {
+		// A room failure is a caller-side block problem (tampered
+		// columns), not stream corruption: report it without poisoning
+		// the reader.
+		if err := blk.room(sr.kind); err != nil {
+			return err
+		}
+		var err error
+		switch sr.kind {
+		case KindEvent:
+			err = sr.readEventCols(blk)
+		case KindSample:
+			err = sr.readSampleCols(blk)
+		default:
+			err = sr.readCommCols(blk)
+		}
+		if err != nil {
+			return sr.fail(err)
+		}
+		sr.idx++
+		sr.left--
+	}
+	return nil
+}
+
+// nextBlockLenient batches the salvage decoder's output: records flow
+// through nextLenient (so drop/resync/truncation behavior — and
+// therefore DecodeStats — is identical to the row path) and are packed
+// into blk until the kind changes or the block fills. The cross-kind
+// record is held as pending and opens the next block.
+func (sr *StreamReader) nextBlockLenient(blk *ColBlock) error {
+	if !sr.hasPending {
+		if err := sr.nextLenient(&sr.pending); err != nil {
+			return err
+		}
+		sr.hasPending = true
+	}
+	blk.Reset(sr.pending.Kind)
+	for {
+		if sr.pending.Kind != blk.Kind() || blk.Len() >= blk.Cap() {
+			return nil // pending record opens the next block
+		}
+		if err := blk.AppendRecord(&sr.pending); err != nil {
+			return err
+		}
+		sr.hasPending = false
+		if err := sr.nextLenient(&sr.pending); err != nil {
+			if errors.Is(err, io.EOF) && blk.Len() > 0 {
+				return nil // partial block stands; next call reports EOF
+			}
+			return err
+		}
+		sr.hasPending = true
+	}
+}
+
+// readEventCols decodes one event directly into b's columns, mirroring
+// readEvent field-for-field (same read order, same error messages, same
+// overflow checks) so the two paths accept and reject identical bytes.
+func (sr *StreamReader) readEventCols(b *ColBlock) error {
+	i := sr.idx
+	dt, err := binary.ReadUvarint(sr.br)
+	if err != nil {
+		return badf(err, "event %d time: %v", i, err)
+	}
+	rank, err := binary.ReadUvarint(sr.br)
+	if err != nil {
+		return badf(err, "event %d rank: %v", i, err)
+	}
+	typ, err := sr.br.ReadByte()
+	if err != nil {
+		return badf(err, "event %d type: %v", i, err)
+	}
+	val, err := binary.ReadVarint(sr.br)
+	if err != nil {
+		return badf(err, "event %d value: %v", i, err)
+	}
+	flag, err := sr.br.ReadByte()
+	if err != nil {
+		return badf(err, "event %d counter flag: %v", i, err)
+	}
+	t, err := sr.advance(dt, "time")
+	if err != nil {
+		return err
+	}
+	j := b.n
+	b.Times[j] = int64(t)
+	b.Ranks[j] = int32(rank)
+	b.Types[j] = typ
+	b.Values[j] = val
+	switch flag {
+	case 0:
+		b.Flags[j] = 0
+		for c := range b.Ctrs {
+			b.Ctrs[c][j] = 0
+		}
+	case 1:
+		b.Flags[j] = 1
+		for c := 0; c < int(counters.NumCounters); c++ {
+			v, err := binary.ReadVarint(sr.br)
+			if err != nil {
+				return badf(err, "event %d counter %d: %v", i, c, err)
+			}
+			b.Ctrs[c][j] = v
+		}
+	default:
+		return badf(nil, "event %d has invalid counter flag %d", i, flag)
+	}
+	b.n = j + 1
+	return nil
+}
+
+// readSampleCols decodes one sample directly into b's columns; stack
+// frames go straight into the block's CSR arena. On a mid-record error
+// the arena is rolled back so the rows already in b stay valid.
+func (sr *StreamReader) readSampleCols(b *ColBlock) error {
+	i := sr.idx
+	dt, err := binary.ReadUvarint(sr.br)
+	if err != nil {
+		return badf(err, "sample %d time: %v", i, err)
+	}
+	rank, err := binary.ReadUvarint(sr.br)
+	if err != nil {
+		return badf(err, "sample %d rank: %v", i, err)
+	}
+	t, err := sr.advance(dt, "time")
+	if err != nil {
+		return err
+	}
+	j := b.n
+	b.Times[j] = int64(t)
+	b.Ranks[j] = int32(rank)
+	for c := 0; c < int(counters.NumCounters); c++ {
+		v, err := binary.ReadVarint(sr.br)
+		if err != nil {
+			return badf(err, "sample %d counter %d: %v", i, c, err)
+		}
+		b.Ctrs[c][j] = v
+	}
+	depth, err := binary.ReadUvarint(sr.br)
+	if err != nil {
+		return badf(err, "sample %d stack depth: %v", i, err)
+	}
+	if depth > 1024 {
+		return badf(nil, "sample %d stack depth %d too large", i, depth)
+	}
+	start := len(b.Frames)
+	b.growFrames(int(depth))
+	for d := uint64(0); d < depth; d++ {
+		f, err := binary.ReadUvarint(sr.br)
+		if err != nil {
+			b.Frames = b.Frames[:start]
+			return badf(err, "sample %d frame %d: %v", i, d, err)
+		}
+		b.Frames = append(b.Frames, uint32(f))
+	}
+	b.StackOff[j+1] = int32(len(b.Frames))
+	b.n = j + 1
+	return nil
+}
+
+// readCommCols decodes one comm record directly into b's columns,
+// mirroring readComm.
+func (sr *StreamReader) readCommCols(b *ColBlock) error {
+	i := sr.idx
+	dt, err := binary.ReadUvarint(sr.br)
+	if err != nil {
+		return badf(err, "comm %d send time: %v", i, err)
+	}
+	lat, err := binary.ReadVarint(sr.br)
+	if err != nil {
+		return badf(err, "comm %d latency: %v", i, err)
+	}
+	src, err := binary.ReadUvarint(sr.br)
+	if err != nil {
+		return badf(err, "comm %d src: %v", i, err)
+	}
+	dst, err := binary.ReadUvarint(sr.br)
+	if err != nil {
+		return badf(err, "comm %d dst: %v", i, err)
+	}
+	size, err := binary.ReadVarint(sr.br)
+	if err != nil {
+		return badf(err, "comm %d size: %v", i, err)
+	}
+	tag, err := binary.ReadVarint(sr.br)
+	if err != nil {
+		return badf(err, "comm %d tag: %v", i, err)
+	}
+	t, err := sr.advance(dt, "send time")
+	if err != nil {
+		return err
+	}
+	j := b.n
+	b.Times[j] = int64(t)
+	b.Recvs[j] = int64(t + Time(lat))
+	b.Ranks[j] = int32(src)
+	b.Dsts[j] = int32(dst)
+	b.Sizes[j] = size
+	b.Tags[j] = int32(tag)
+	b.n = j + 1
+	return nil
+}
