@@ -20,6 +20,10 @@
 #                   also diffs against the previous snapshot)
 #   make benchmem — memory tier: just the streaming-vs-batch allocation
 #                   comparison, recorded in BENCH_MEM_<date>.json
+#   make e2e-dist — distributed end-to-end: an in-process foldsvc
+#                   coordinator fanning shards out to 3 in-process workers
+#                   must reproduce the local single-pass Report and
+#                   survive worker loss (degraded report, not a 500)
 
 GO        ?= go
 DATE      := $(shell date +%Y-%m-%d)
@@ -32,7 +36,7 @@ FUZZTIME  ?= 10s
 # clustering of a ~100k-burst trace (tracegen -preset bench-large).
 BENCH_SCALE ?=
 
-.PHONY: build test check chaos bench benchmem
+.PHONY: build test check chaos bench benchmem e2e-dist
 
 build:
 	$(GO) build ./...
@@ -58,7 +62,10 @@ chaos:
 
 bench:
 	BENCH_SCALE=$(BENCH_SCALE) $(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -timeout 60m . \
-		| $(GO) run ./cmd/benchjson -out BENCH_$(DATE).json
+		| BENCH_SCALE=$(BENCH_SCALE) $(GO) run ./cmd/benchjson -out BENCH_$(DATE).json
+
+e2e-dist:
+	$(GO) test -race -count 1 -run 'TestE2EDist|TestDist' ./internal/foldsvc/
 
 benchmem:
 	$(GO) test -run '^$$' -bench StreamVsBatchMemory -benchmem -benchtime 3x -timeout 30m . \

@@ -15,6 +15,7 @@ package repro
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"math"
 	"math/rand/v2"
@@ -216,6 +217,42 @@ func BenchmarkAnalyzeEndToEnd(b *testing.B) {
 				opts := core.Options{Columnar: path}
 				opts.Cluster.SilhouetteSample = 256
 				if _, err := core.AnalyzeStream(bytes.NewReader(raw), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyzeSharded runs the batch analysis through the map/reduce
+// algebra at increasing shard counts over the bench-large trace. The
+// Report is identical at every count (TestShardedEquivalence); the
+// benchmark prices the decomposition itself — per-shard pipeline set-up,
+// the joint merge sort, and the reduce-side clustering — against the
+// single-pass baseline (1shards ≙ Analyze). Needs BENCH_SCALE=large;
+// simulation sits outside the timer.
+func BenchmarkAnalyzeSharded(b *testing.B) {
+	if !benchScaleLarge() {
+		b.Skip("set BENCH_SCALE=large to analyze the bench-large trace sharded")
+	}
+	app, err := apps.ByName(apps.BenchLargeApp, apps.BenchLargeIters)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := apps.DefaultTraceConfig(apps.BenchLargeRanks)
+	cfg.Seed = apps.BenchLargeSeed
+	tr, err := sim.Run(cfg, app)
+	if err != nil {
+		b.Fatal(err)
+	}
+
+	for _, n := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("%dshards", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opts := core.Options{}
+				opts.Cluster.SilhouetteSample = 256
+				if _, err := core.AnalyzeSharded(tr, n, core.ShardTime, opts); err != nil {
 					b.Fatal(err)
 				}
 			}

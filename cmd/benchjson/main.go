@@ -31,8 +31,17 @@
 // its predecessor. The gate skips (exit 0, with a notice) when either
 // snapshot is missing or the runner fingerprints differ — including the
 // CPU model, since a container rescheduled onto a different host makes
-// every ns/op delta meaningless — so fresh checkouts and machine moves
-// don't fail `make check`.
+// every ns/op delta meaningless, and the workload scale (-scale,
+// mirroring BENCH_SCALE) when both snapshots record one — so fresh
+// checkouts and machine moves don't fail `make check`.
+//
+// With -merge, new entries fold into an existing -out snapshot instead
+// of overwriting it — matching name@procs entries are replaced, new ones
+// appended — so a follow-up run of gated benchmarks (e.g. the
+// BENCH_SCALE=large tier) can ride in the day's snapshot:
+//
+//	BENCH_SCALE=large go test -run '^$' -bench AnalyzeSharded -benchmem \
+//	    | benchjson -merge -out BENCH_2026-08-08.json
 package main
 
 import (
@@ -75,7 +84,12 @@ type Snapshot struct {
 	NumCPU    int    `json:"num_cpu"`
 	// CPU is the processor model from the `cpu:` header of the bench
 	// output (empty for snapshots that predate its recording).
-	CPU        string  `json:"cpu,omitempty"`
+	CPU string `json:"cpu,omitempty"`
+	// Scale is the workload scale the benchmarks ran at (the -scale flag,
+	// mirroring BENCH_SCALE; empty for default-scale runs and for
+	// snapshots that predate its recording). Part of the gate fingerprint:
+	// two snapshots with different non-empty scales are not comparable.
+	Scale      string  `json:"scale,omitempty"`
 	Benchmarks []Entry `json:"benchmarks"`
 }
 
@@ -221,6 +235,14 @@ func runGate(prevPath, curPath string, prev, cur *Snapshot, tol float64) int {
 			prev.GOARCH, prev.NumCPU, prev.CPU, cur.GOARCH, cur.NumCPU, cur.CPU)
 		return 0
 	}
+	// A scale change means different workloads behind the same benchmark
+	// names; an empty side (default scale, or a snapshot predating the
+	// field) stays comparable so legacy snapshots keep gating.
+	if prev.Scale != "" && cur.Scale != "" && prev.Scale != cur.Scale {
+		fmt.Fprintf(os.Stderr,
+			"benchjson: gate skipped: workload scale changed (%q -> %q)\n", prev.Scale, cur.Scale)
+		return 0
+	}
 	offenders := gateCheck(prev, cur, tol)
 	if len(offenders) > 0 {
 		fmt.Fprintf(os.Stderr, "benchjson: gate FAILED: %d regression(s) > %.0f%% vs %s:\n",
@@ -299,6 +321,52 @@ func diffLines(prev, cur *Snapshot) []string {
 	return lines
 }
 
+// mergeInto folds the fresh entries into the snapshot already at path:
+// matching name@procs entries are replaced, new ones appended, the rest
+// kept. The merged snapshot keeps the existing file's recorded scale —
+// riders from a different scale (e.g. BENCH_SCALE=large-only benchmarks
+// joining a default-scale snapshot) must not re-label entries they did
+// not measure. A missing file degrades to a plain write; a runner
+// fingerprint mismatch is an error, since mixing machines in one
+// snapshot would poison every later gate comparison.
+func mergeInto(path string, fresh *Snapshot) (*Snapshot, error) {
+	base, err := readSnapshot(path)
+	if os.IsNotExist(err) {
+		return fresh, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if base.NumCPU != fresh.NumCPU || base.GOARCH != fresh.GOARCH ||
+		(base.CPU != "" && fresh.CPU != "" && base.CPU != fresh.CPU) {
+		return nil, fmt.Errorf(
+			"cannot merge into %s: runner fingerprint differs (%s/%d CPU/%q vs %s/%d CPU/%q)",
+			path, base.GOARCH, base.NumCPU, base.CPU, fresh.GOARCH, fresh.NumCPU, fresh.CPU)
+	}
+	entryKey := func(e Entry) string { return fmt.Sprintf("%s@%d", e.Name, e.Procs) }
+	incoming := make(map[string]Entry, len(fresh.Benchmarks))
+	for _, e := range fresh.Benchmarks {
+		incoming[entryKey(e)] = e
+	}
+	merged := *base
+	merged.Date = fresh.Date
+	merged.Benchmarks = make([]Entry, 0, len(base.Benchmarks)+len(fresh.Benchmarks))
+	for _, e := range base.Benchmarks {
+		if ne, ok := incoming[entryKey(e)]; ok {
+			e = ne
+			delete(incoming, entryKey(e))
+		}
+		merged.Benchmarks = append(merged.Benchmarks, e)
+	}
+	// Append the genuinely new entries in their measured order.
+	for _, e := range fresh.Benchmarks {
+		if _, ok := incoming[entryKey(e)]; ok {
+			merged.Benchmarks = append(merged.Benchmarks, e)
+		}
+	}
+	return &merged, nil
+}
+
 // readSnapshot loads a prior trajectory snapshot.
 func readSnapshot(path string) (*Snapshot, error) {
 	data, err := os.ReadFile(path)
@@ -327,6 +395,10 @@ func main() {
 		"directory searched by -cur newest")
 	prefix := flag.String("prefix", "BENCH_",
 		"snapshot filename prefix matched by -cur newest")
+	merge := flag.Bool("merge", false,
+		"fold the new entries into an existing -out snapshot (matched by name and GOMAXPROCS) instead of overwriting it; the runner fingerprint must match")
+	scale := flag.String("scale", os.Getenv("BENCH_SCALE"),
+		"workload scale recorded in the snapshot's gate fingerprint (default $BENCH_SCALE)")
 	flag.Parse()
 	if *cur != "" {
 		os.Exit(gateStandalone(*cur, *dir, *prefix, *tol))
@@ -341,6 +413,7 @@ func main() {
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		NumCPU:    runtime.NumCPU(),
+		Scale:     *scale,
 	}
 
 	sc := bufio.NewScanner(os.Stdin)
@@ -360,6 +433,13 @@ func main() {
 	}
 	if len(snap.Benchmarks) == 0 {
 		fatal(fmt.Errorf("no benchmark lines found on stdin (pipe `go test -bench` output in)"))
+	}
+	if *merge {
+		merged, err := mergeInto(*out, &snap)
+		if err != nil {
+			fatal(err)
+		}
+		snap = *merged
 	}
 
 	f, err := os.Create(*out)

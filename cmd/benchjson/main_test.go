@@ -227,6 +227,92 @@ func TestGateStandalone(t *testing.T) {
 	}
 }
 
+func TestGateSkipsScaleChange(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, scale, ns string) {
+		t.Helper()
+		body := `{"goarch":"` + runtime.GOARCH + `","num_cpu":` + strconv.Itoa(runtime.NumCPU()) +
+			`,"scale":"` + scale + `","benchmarks":[{"name":"BenchmarkX","procs":1,"ns_per_op":` + ns + `}]}`
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Different non-empty scales: the same benchmark name measures a
+	// different workload, so a 10x "regression" must skip, not fail.
+	write("BENCH_2026-08-07.json", "", "100")
+	write("BENCH_2026-08-08.json", "large", "1000")
+	write("BENCH_2026-08-09.json", "small", "100")
+	if code := gateStandalone(filepath.Join(dir, "BENCH_2026-08-09.json"), dir, "BENCH_", 10); code != 0 {
+		t.Fatalf("scale change: exit %d, want 0", code)
+	}
+	// An empty side stays comparable — legacy snapshots keep gating.
+	if code := gateStandalone(filepath.Join(dir, "BENCH_2026-08-08.json"), dir, "BENCH_", 10); code != 1 {
+		t.Fatalf("empty-scale baseline: exit %d, want 1 (regression must still gate)", code)
+	}
+}
+
+func TestMergeInto(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_2026-08-08.json")
+	fresh := &Snapshot{
+		Date:   "2026-08-08T12:00:00Z",
+		GOARCH: runtime.GOARCH,
+		NumCPU: runtime.NumCPU(),
+		Scale:  "large",
+		Benchmarks: []Entry{
+			{Name: "BenchmarkShared", Procs: 1, NsPerOp: 50},
+			{Name: "BenchmarkRider", Procs: 1, NsPerOp: 7},
+		},
+	}
+
+	// Missing file: merge degrades to a plain write of the fresh snapshot.
+	got, err := mergeInto(path, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != fresh {
+		t.Fatal("missing base should pass the fresh snapshot through")
+	}
+
+	base := `{"date":"2026-08-08T10:00:00Z","goarch":"` + runtime.GOARCH +
+		`","num_cpu":` + strconv.Itoa(runtime.NumCPU()) + `,"benchmarks":[` +
+		`{"name":"BenchmarkShared","procs":1,"ns_per_op":100},` +
+		`{"name":"BenchmarkKeep","procs":1,"ns_per_op":3}]}`
+	if err := os.WriteFile(path, []byte(base), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err = mergeInto(path, fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Benchmarks) != 3 {
+		t.Fatalf("merged %d entries, want 3: %+v", len(got.Benchmarks), got.Benchmarks)
+	}
+	byName := map[string]float64{}
+	for _, e := range got.Benchmarks {
+		byName[e.Name] = e.NsPerOp
+	}
+	if byName["BenchmarkShared"] != 50 {
+		t.Errorf("shared entry not replaced: %v", byName["BenchmarkShared"])
+	}
+	if byName["BenchmarkKeep"] != 3 || byName["BenchmarkRider"] != 7 {
+		t.Errorf("kept/appended entries wrong: %v", byName)
+	}
+	if got.Scale != "" {
+		t.Errorf("merge re-labeled the base snapshot's scale to %q", got.Scale)
+	}
+	if got.Date != fresh.Date {
+		t.Errorf("merge kept the stale date %q", got.Date)
+	}
+
+	// A different runner must refuse to merge.
+	alien := *fresh
+	alien.NumCPU = fresh.NumCPU + 7
+	if _, err := mergeInto(path, &alien); err == nil {
+		t.Fatal("merged across a runner fingerprint change")
+	}
+}
+
 func TestParseLineSubBenchmark(t *testing.T) {
 	e, ok := parseLine("BenchmarkAnalyzePipeline/ranks=16-4         \t      10\t 103456789 ns/op")
 	if !ok {

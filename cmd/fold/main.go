@@ -17,7 +17,13 @@
 //
 //	fold -in stencil.uvt [-counter PAPI_TOT_INS] [-bins 100] [-model binned+pchip]
 //	     [-phases 5] [-curves out_dir] [-iterations] [-lenient]
+//	     [-shards 4] [-shard-mode time|rank]
 //	fold -stream [-in stencil.uvt] [-online] [-train 512] [-stages] [-lenient]
+//
+// -shards runs the batch analysis through the sharded map/reduce
+// algebra (split, map each shard to a mergeable partial, reduce); the
+// report is identical for every shard count and mode — the flag exists
+// to exercise and benchmark the distributed decomposition locally.
 //
 // -lenient salvages damaged traces: undecodable records are skipped at
 // the decoder, validation failures are tolerated, and the analysis is
@@ -59,6 +65,8 @@ func main() {
 		train      = flag.Int("train", 0, "with -online: training-prefix length in bursts (0 = default 512)")
 		stages     = flag.Bool("stages", false, "with -stream: print per-stage pipeline metrics")
 		lenient    = flag.Bool("lenient", false, "salvage damaged traces: skip undecodable records, tolerate validation failures, and report the degradation instead of aborting")
+		shards     = flag.Int("shards", 1, "analyze through the map/reduce algebra over this many shards (output is identical for any count)")
+		shardMode  = flag.String("shard-mode", "time", "how -shards splits the trace: time (window slices) or rank (rank groups)")
 	)
 	flag.Parse()
 
@@ -88,10 +96,18 @@ func main() {
 		opts.Counters = []counters.Counter{c}
 	}
 
+	shMode, err := core.ParseShardMode(*shardMode)
+	if err != nil {
+		fatal(err)
+	}
+
 	var rep *core.Report
 	if *stream {
 		if *iterations {
 			fatal(fmt.Errorf("-iterations needs the full trace and cannot be combined with -stream"))
+		}
+		if *shards > 1 {
+			fatal(fmt.Errorf("-shards needs the full trace and cannot be combined with -stream"))
 		}
 		opts.Stream = core.StreamOptions{Online: *online, TrainBursts: *train}
 		r, closeIn, err := openInput(*in)
@@ -122,10 +138,15 @@ func main() {
 			fatal(err)
 		}
 		if *iterations {
+			if *shards > 1 {
+				fatal(fmt.Errorf("-iterations folds the whole trace and cannot be combined with -shards"))
+			}
 			foldIterations(tr, *counter, *bins)
 			return
 		}
-		rep, err = core.Analyze(tr, opts)
+		// AnalyzeSharded with one shard is exactly Analyze — the algebra
+		// guarantees the report is identical for every shard count.
+		rep, err = core.AnalyzeSharded(tr, *shards, shMode, opts)
 		if err != nil {
 			fatal(err)
 		}

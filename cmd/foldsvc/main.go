@@ -14,9 +14,22 @@
 //	                    trace is read from a local file instead of the
 //	                    body. ?lenient=1 salvages damaged uploads and
 //	                    returns a Degraded report instead of a 400.
+//	POST /v1/partial    worker half of a distributed analysis: map one
+//	                    shard (?shard=i&shards=n&mode=time|rank) of the
+//	                    uploaded trace to a mergeable JSON core.Partial.
 //	GET  /metrics       Prometheus text exposition
 //	GET  /healthz       liveness probe
 //	GET  /debug/pprof/  runtime profiling
+//
+// With -workers the daemon becomes a coordinator: /v1/analyze splits
+// each upload into -shards shards, fans them out to the worker daemons'
+// /v1/partial routes (consistent-hash routing on the trace digest, one
+// failover per shard, circuit breaker per worker), reduces the partials
+// locally, and answers with the same JSON core.Report — degraded with
+// per-shard warnings when a shard is lost, never a whole-request 500:
+//
+//	foldsvc -addr :9001 & foldsvc -addr :9002 &
+//	foldsvc -addr :8080 -workers http://localhost:9001,http://localhost:9002
 //
 // A typical session:
 //
@@ -40,9 +53,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/foldsvc"
 	"repro/internal/obs"
 )
@@ -59,8 +74,24 @@ func main() {
 		pathRoot = flag.String("path-root", "", "directory ?path= trace references resolve under (empty disables local-path analysis)")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logJSON  = flag.Bool("log-json", false, "log JSON instead of text")
+		workers  = flag.String("workers", "", "comma-separated worker base URLs; non-empty switches /v1/analyze into coordinator mode (fan out shards, reduce locally)")
+		shards   = flag.Int("shards", 0, "shards per coordinated analysis (0 = one per worker)")
+		shardMd  = flag.String("shard-mode", "time", "how the coordinator splits uploads: time (window slices) or rank (rank groups)")
 	)
 	flag.Parse()
+
+	mode, err := core.ParseShardMode(*shardMd)
+	if err != nil {
+		fatal(err)
+	}
+	var workerURLs []string
+	if *workers != "" {
+		for _, w := range strings.Split(*workers, ",") {
+			if w = strings.TrimSpace(w); w != "" {
+				workerURLs = append(workerURLs, w)
+			}
+		}
+	}
 
 	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel), *logJSON)
 	srv := foldsvc.NewServer(foldsvc.Config{
@@ -71,6 +102,9 @@ func main() {
 		Stall:       *stall,
 		PathRoot:    *pathRoot,
 		Logger:      logger,
+		Workers:     workerURLs,
+		Shards:      *shards,
+		ShardMode:   mode,
 	})
 
 	hs := &http.Server{

@@ -4,14 +4,23 @@
 // Usage:
 //
 //	trslice -in app.uvt -from 2.5s -to 10s -o steady.uvt
+//	tracegen -app stencil -o - | trslice -stream -from 2.5s -to 10s -o steady.uvt
 //
 // Windows accept "s", "ms", "us"/"µs" and "ns" suffixes (bare numbers are
 // seconds).
+//
+// With -stream the input is decoded record by record as it is read —
+// from stdin when -in is empty or "-" — so tracegen output pipes
+// straight in; the written slice is byte-identical to the batch path's.
+// -lenient salvages damaged inputs: undecodable records are skipped,
+// validation failures are tolerated with a warning, and the salvage
+// tally is printed instead of aborting on the first fault.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -21,18 +30,28 @@ import (
 
 func main() {
 	var (
-		in   = flag.String("in", "", "input trace file (required)")
-		from = flag.String("from", "0", "window start (e.g. 2.5s, 300ms)")
-		to   = flag.String("to", "", "window end (default: trace end)")
-		out  = flag.String("o", "", "output trace file (required)")
+		in      = flag.String("in", "", "input trace file (required unless -stream, which defaults to stdin)")
+		from    = flag.String("from", "0", "window start (e.g. 2.5s, 300ms)")
+		to      = flag.String("to", "", "window end (default: trace end)")
+		out     = flag.String("o", "", "output trace file (required)")
+		stream  = flag.Bool("stream", false, "decode the trace record-by-record as it is read (stdin when -in is empty or \"-\")")
+		lenient = flag.Bool("lenient", false, "salvage damaged traces: skip undecodable records, tolerate validation failures, and report the salvage tally instead of aborting")
 	)
 	flag.Parse()
-	if *in == "" || *out == "" {
-		fatal(fmt.Errorf("missing -in or -o"))
+	if *out == "" {
+		fatal(fmt.Errorf("missing -o"))
 	}
-	tr, err := trace.ReadFile(*in)
+	if *in == "" && !*stream {
+		fatal(fmt.Errorf("missing -in (or use -stream to read stdin)"))
+	}
+
+	tr, stats, err := readInput(*in, *stream, *lenient)
 	if err != nil {
 		fatal(err)
+	}
+	if *lenient && stats.Degraded() {
+		fmt.Fprintf(os.Stderr, "trslice: salvaged a damaged trace: %d records dropped, truncated=%v, bad sections=%d\n",
+			stats.Dropped(), stats.Truncated, stats.BadSections)
 	}
 	f, err := parseTime(*from)
 	if err != nil {
@@ -47,7 +66,10 @@ func main() {
 	}
 	sl := tr.Slice(f, t)
 	if err := sl.Validate(); err != nil {
-		fatal(fmt.Errorf("sliced trace invalid: %w", err))
+		if !*lenient {
+			fatal(fmt.Errorf("sliced trace invalid: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "trslice: sliced trace failed validation (%v); writing anyway\n", err)
 	}
 	if err := sl.WriteFile(*out); err != nil {
 		fatal(err)
@@ -55,6 +77,74 @@ func main() {
 	st := sl.Stats()
 	fmt.Printf("wrote %s: window [%s, %s) → %.3f s, %d events, %d samples, %d comms\n",
 		*out, *from, *to, float64(st.Duration)/1e9, st.Events, st.Samples, st.Comms)
+}
+
+// readInput materializes the input trace: a whole-file read on the batch
+// path, a record-by-record collect over the streaming decoder with
+// -stream. Both paths produce the same Trace, so the written slice is
+// byte-identical either way; only the salvage stats source differs.
+func readInput(path string, stream, lenient bool) (*trace.Trace, trace.DecodeStats, error) {
+	if !stream {
+		if lenient {
+			return trace.ReadFileLenient(path)
+		}
+		tr, err := trace.ReadFile(path)
+		return tr, trace.DecodeStats{}, err
+	}
+	r, closeIn, err := openInput(path)
+	if err != nil {
+		return nil, trace.DecodeStats{}, err
+	}
+	defer closeIn()
+	mode := trace.Strict
+	if lenient {
+		mode = trace.Lenient
+	}
+	sr, err := trace.NewStreamReaderMode(r, mode)
+	if err != nil {
+		return nil, trace.DecodeStats{}, err
+	}
+	tr, err := collect(sr)
+	return tr, sr.Stats(), err
+}
+
+// collect drains a record stream into an in-memory Trace, copying the
+// reused sample-stack storage.
+func collect(sr *trace.StreamReader) (*trace.Trace, error) {
+	tr := &trace.Trace{Meta: *sr.Meta()}
+	var rec trace.Record
+	for {
+		err := sr.Next(&rec)
+		if err == io.EOF {
+			return tr, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch rec.Kind {
+		case trace.KindEvent:
+			tr.Events = append(tr.Events, rec.Event)
+		case trace.KindSample:
+			s := rec.Sample
+			s.Stack = append([]uint32(nil), rec.Sample.Stack...)
+			tr.Samples = append(tr.Samples, s)
+		case trace.KindComm:
+			tr.Comms = append(tr.Comms, rec.Comm)
+		}
+	}
+}
+
+// openInput resolves the streaming input: stdin when path is empty or
+// "-", the named file otherwise.
+func openInput(path string) (io.Reader, func(), error) {
+	if path == "" || path == "-" {
+		return os.Stdin, func() {}, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, func() { f.Close() }, nil
 }
 
 // parseTime converts a human time string to virtual nanoseconds.

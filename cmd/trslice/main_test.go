@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/sim"
+)
+
+// TestStreamMatchesBatch locks the -stream flag's contract: slicing a
+// trace decoded record-by-record writes the exact bytes the whole-file
+// batch path writes.
+func TestStreamMatchesBatch(t *testing.T) {
+	app, err := apps.ByName("stencil", 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.Run(apps.DefaultTraceConfig(3), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "in.uvt")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	batch, _, err := readInput(path, false, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamed, stats, err := readInput(path, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Degraded() {
+		t.Fatalf("clean input reported salvage: %+v", stats)
+	}
+
+	from, to := tr.Meta.Duration/4, tr.Meta.Duration*3/4
+	var bb, sb bytes.Buffer
+	if err := batch.Slice(from, to).Write(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if err := streamed.Slice(from, to).Write(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bb.Bytes(), sb.Bytes()) {
+		t.Fatalf("stream path wrote %d bytes differing from the batch path's %d",
+			sb.Len(), bb.Len())
+	}
+}
+
+// TestStreamLenientSalvages checks that -stream -lenient survives a
+// truncated input and reports the damage.
+func TestStreamLenientSalvages(t *testing.T) {
+	app, err := apps.ByName("stencil", 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := sim.Run(apps.DefaultTraceConfig(2), app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "cut.uvt")
+	if err := os.WriteFile(path, buf.Bytes()[:buf.Len()*3/5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, _, err := readInput(path, true, false); err == nil {
+		t.Fatal("strict stream decoded a truncated trace")
+	}
+	got, stats, err := readInput(path, true, true)
+	if err != nil {
+		t.Fatalf("lenient stream failed: %v", err)
+	}
+	if !stats.Truncated {
+		t.Errorf("truncation unreported: %+v", stats)
+	}
+	kept := len(got.Events) + len(got.Samples) + len(got.Comms)
+	total := len(tr.Events) + len(tr.Samples) + len(tr.Comms)
+	if kept == 0 || kept >= total {
+		t.Errorf("salvaged %d of %d records, want a proper prefix", kept, total)
+	}
+	if got.Meta.App != tr.Meta.App {
+		t.Errorf("metadata lost in salvage: %q", got.Meta.App)
+	}
+	var sink bytes.Buffer
+	if err := got.Slice(0, got.Meta.Duration).Write(&sink); err != nil {
+		t.Errorf("salvaged slice does not encode: %v", err)
+	}
+}

@@ -1,0 +1,337 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"repro/internal/burst"
+	"repro/internal/trace"
+)
+
+// Model is a clustering made first-class: the artifact a coordinator
+// trains once and broadcasts so every shard classifies bursts against
+// the same phase definitions. It captures the effective DBSCAN
+// parameters, the trained assignment as an exact raw-feature lookup
+// (classifying a training burst returns its training label, bit for
+// bit), and raw-space centroids as the generalization for bursts the
+// training never saw. A Model serializes to stable JSON (Encode /
+// DecodeModel) and merges with models trained independently on other
+// shards (Merge).
+type Model struct {
+	// UseIPC records whether the third (IPC) feature dimension is active.
+	UseIPC bool
+	// K, Eps, MinPts and Silhouette mirror the training clustering's
+	// Result fields.
+	K          int
+	Eps        float64
+	MinPts     int
+	Silhouette float64
+	// Training retains the training bursts (with Cluster set) so Merge
+	// can retrain exactly on the pooled set; Compact drops them.
+	Training []burst.Burst
+	// Centroids summarize each cluster in raw feature space for
+	// classifying unseen bursts.
+	Centroids []Centroid
+
+	// idIndex recalls training bursts by identity ((Start, Rank) is a
+	// strict total order over a trace's bursts), so classifying a burst
+	// the model was trained on returns its training label bit for bit.
+	// index recalls by raw feature vector for bursts that are numerically
+	// identical to a training burst without being the same burst.
+	idIndex map[burstKey]int
+	index   map[[3]float64]int
+}
+
+// burstKey is a burst's identity within one trace.
+type burstKey struct {
+	start trace.Time
+	rank  int32
+}
+
+// Centroid is one cluster's raw-feature-space summary.
+type Centroid struct {
+	// ID is the cluster id (1..K).
+	ID int
+	// Mean is the cluster's mean raw feature vector (log10 duration,
+	// log10 instructions, IPC; the IPC slot is 0 when UseIPC is false).
+	Mean [3]float64
+	// Radius2 is the squared capture radius: the maximum squared distance
+	// of a member from Mean, widened by a 2.25x slack factor.
+	Radius2 float64
+	// Count is the number of training bursts in the cluster.
+	Count int
+}
+
+// centroidSlack widens each centroid's capture radius beyond its
+// farthest training member, so near-miss bursts from other shards still
+// land in the phase instead of degrading to noise.
+const centroidSlack = 2.25
+
+// rawFeature computes a burst's unnormalized feature vector — the same
+// per-burst arithmetic as Features before min-max scaling, so it is a
+// normalization-independent (and therefore shard-independent) key.
+func rawFeature(b *burst.Burst, useIPC bool) [3]float64 {
+	d := float64(b.Duration())
+	if d < 1 {
+		d = 1
+	}
+	ins := float64(b.Instructions())
+	if ins < 1 {
+		ins = 1
+	}
+	f := [3]float64{math.Log10(d), math.Log10(ins), 0}
+	if useIPC {
+		f[2] = b.IPC()
+	}
+	return f
+}
+
+// TrainModel clusters the given bursts (ClusterBursts on a private copy;
+// the input is not mutated) and packages the outcome as a broadcastable
+// Model.
+func TrainModel(bursts []burst.Burst, cfg Config) *Model {
+	train := append([]burst.Burst(nil), bursts...)
+	res := ClusterBursts(train, cfg)
+	m := &Model{
+		UseIPC:     cfg.UseIPC,
+		K:          res.K,
+		Eps:        res.Eps,
+		MinPts:     res.MinPts,
+		Silhouette: res.Silhouette,
+		Training:   train,
+	}
+	m.buildCentroids()
+	m.buildIndex()
+	return m
+}
+
+// buildCentroids derives per-cluster raw-space means and capture radii
+// from the training bursts.
+func (m *Model) buildCentroids() {
+	m.Centroids = nil
+	if m.K == 0 {
+		return
+	}
+	sums := make([][3]float64, m.K+1)
+	counts := make([]int, m.K+1)
+	for i := range m.Training {
+		id := m.Training[i].Cluster
+		if id <= 0 || id > m.K {
+			continue
+		}
+		f := rawFeature(&m.Training[i], m.UseIPC)
+		for d := 0; d < 3; d++ {
+			sums[id][d] += f[d]
+		}
+		counts[id]++
+	}
+	for id := 1; id <= m.K; id++ {
+		if counts[id] == 0 {
+			continue
+		}
+		var c Centroid
+		c.ID = id
+		c.Count = counts[id]
+		for d := 0; d < 3; d++ {
+			c.Mean[d] = sums[id][d] / float64(counts[id])
+		}
+		m.Centroids = append(m.Centroids, c)
+	}
+	for i := range m.Training {
+		id := m.Training[i].Cluster
+		for ci := range m.Centroids {
+			if m.Centroids[ci].ID != id {
+				continue
+			}
+			f := rawFeature(&m.Training[i], m.UseIPC)
+			if d2 := dist3(f, m.Centroids[ci].Mean); d2 > m.Centroids[ci].Radius2 {
+				m.Centroids[ci].Radius2 = d2
+			}
+		}
+	}
+	for ci := range m.Centroids {
+		m.Centroids[ci].Radius2 *= centroidSlack
+	}
+}
+
+// buildIndex (re)builds the exact-recall lookups from Training. For
+// duplicate feature vectors the first occurrence wins, which is
+// deterministic because training bursts are kept in canonical order;
+// the identity index has no duplicates by construction.
+func (m *Model) buildIndex() {
+	m.idIndex, m.index = nil, nil
+	if len(m.Training) == 0 {
+		return
+	}
+	m.idIndex = make(map[burstKey]int, len(m.Training))
+	m.index = make(map[[3]float64]int, len(m.Training))
+	for i := range m.Training {
+		b := &m.Training[i]
+		m.idIndex[burstKey{b.Start, b.Rank}] = b.Cluster
+		f := rawFeature(b, m.UseIPC)
+		if _, ok := m.index[f]; !ok {
+			m.index[f] = b.Cluster
+		}
+	}
+}
+
+func dist3(a, b [3]float64) float64 {
+	var s float64
+	for d := 0; d < 3; d++ {
+		diff := a[d] - b[d]
+		s += diff * diff
+	}
+	return s
+}
+
+// Classify maps a burst to a cluster id: a burst the model was trained
+// on (same (Start, Rank) identity, or failing that the same raw feature
+// vector) returns its training label exactly; otherwise the nearest
+// centroid whose capture radius contains the burst wins; otherwise
+// Noise. It does not mutate the burst.
+func (m *Model) Classify(b *burst.Burst) int {
+	if id, ok := m.idIndex[burstKey{b.Start, b.Rank}]; ok {
+		return id
+	}
+	f := rawFeature(b, m.UseIPC)
+	if id, ok := m.index[f]; ok {
+		return id
+	}
+	best, bestD2 := Noise, math.Inf(1)
+	for ci := range m.Centroids {
+		d2 := dist3(f, m.Centroids[ci].Mean)
+		if d2 <= m.Centroids[ci].Radius2 && d2 < bestD2 {
+			best, bestD2 = m.Centroids[ci].ID, d2
+		}
+	}
+	return best
+}
+
+// Compact drops the retained training bursts (and with them the exact
+// lookups), leaving only the centroid summary — the form to broadcast
+// when the training set is large. A compacted model classifies
+// approximately and merges via centroid matching only.
+func (m *Model) Compact() {
+	m.Training = nil
+	m.idIndex = nil
+	m.index = nil
+}
+
+// Encode serializes the model to deterministic JSON. A NaN silhouette
+// (fewer than 2 clusters) is encoded as a flag, since JSON has no NaN.
+func (m *Model) Encode() ([]byte, error) {
+	w := modelWire{
+		UseIPC: m.UseIPC, K: m.K, Eps: m.Eps, MinPts: m.MinPts,
+		Silhouette: m.Silhouette, Training: m.Training, Centroids: m.Centroids,
+	}
+	if math.IsNaN(w.Silhouette) {
+		w.Silhouette, w.SilhouetteNaN = 0, true
+	}
+	return json.Marshal(w)
+}
+
+// DecodeModel deserializes a model produced by Encode and rebuilds its
+// exact-match index.
+func DecodeModel(data []byte) (*Model, error) {
+	var w modelWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("cluster: decode model: %w", err)
+	}
+	m := &Model{
+		UseIPC: w.UseIPC, K: w.K, Eps: w.Eps, MinPts: w.MinPts,
+		Silhouette: w.Silhouette, Training: w.Training, Centroids: w.Centroids,
+	}
+	if w.SilhouetteNaN {
+		m.Silhouette = math.NaN()
+	}
+	m.buildIndex()
+	return m, nil
+}
+
+// modelWire is the stable serialized form of a Model.
+type modelWire struct {
+	UseIPC        bool
+	K             int
+	Eps           float64
+	MinPts        int
+	Silhouette    float64
+	SilhouetteNaN bool          `json:",omitempty"`
+	Training      []burst.Burst `json:",omitempty"`
+	Centroids     []Centroid    `json:",omitempty"`
+}
+
+// Merge combines models trained independently on different shards. When
+// every input retains its training bursts the merge is exact: the pools
+// are concatenated, re-sorted into canonical order and retrained under
+// cfg, which reproduces the single-pass clustering bit for bit (feature
+// normalization runs over the full pooled set). When any input was
+// compacted the merge degrades to centroid matching: centroids whose
+// means fall within each other's capture radii are averaged together
+// (count-weighted), the rest are appended as new clusters, and the
+// silhouette becomes NaN because no pooled feature matrix exists.
+func Merge(models []*Model, cfg Config) (*Model, error) {
+	if len(models) == 0 {
+		return nil, fmt.Errorf("cluster: no models to merge")
+	}
+	exact := true
+	for _, m := range models {
+		if m == nil {
+			return nil, fmt.Errorf("cluster: nil model in merge")
+		}
+		if m.Training == nil {
+			exact = false
+		}
+		if m.UseIPC != models[0].UseIPC {
+			return nil, fmt.Errorf("cluster: merging models with different feature spaces")
+		}
+	}
+	if exact {
+		var pool []burst.Burst
+		for _, m := range models {
+			pool = append(pool, m.Training...)
+		}
+		burst.Sort(pool)
+		return TrainModel(pool, cfg), nil
+	}
+
+	base := models[0]
+	merged := &Model{
+		UseIPC: base.UseIPC, Eps: base.Eps, MinPts: base.MinPts,
+		Silhouette: math.NaN(),
+		Centroids:  append([]Centroid(nil), base.Centroids...),
+	}
+	nextID := 0
+	for _, c := range merged.Centroids {
+		if c.ID > nextID {
+			nextID = c.ID
+		}
+	}
+	for _, m := range models[1:] {
+		for _, c := range m.Centroids {
+			bi, bestD2 := -1, math.Inf(1)
+			for i := range merged.Centroids {
+				d2 := dist3(c.Mean, merged.Centroids[i].Mean)
+				if d2 <= math.Max(c.Radius2, merged.Centroids[i].Radius2) && d2 < bestD2 {
+					bi, bestD2 = i, d2
+				}
+			}
+			if bi < 0 {
+				nextID++
+				nc := c
+				nc.ID = nextID
+				merged.Centroids = append(merged.Centroids, nc)
+				continue
+			}
+			t := &merged.Centroids[bi]
+			total := float64(t.Count + c.Count)
+			for d := 0; d < 3; d++ {
+				t.Mean[d] = (t.Mean[d]*float64(t.Count) + c.Mean[d]*float64(c.Count)) / total
+			}
+			t.Count += c.Count
+			t.Radius2 = math.Max(t.Radius2, c.Radius2)
+		}
+	}
+	merged.K = len(merged.Centroids)
+	return merged, nil
+}

@@ -311,11 +311,16 @@ func AnalyzeContext(ctx context.Context, tr *trace.Trace, opts Options) (*Report
 		}
 		valWarn = fmt.Sprintf("trace failed validation (%v); analyzing anyway", err)
 	}
-	out, err := pipeline.RunContext(ctx, trace.NewTraceSource(tr), opts.pipelineConfig())
+	// One whole-trace shard through the map/reduce algebra — the identity
+	// split, so batch analysis and sharded analysis cannot drift apart.
+	p, err := MapShardContext(ctx, trace.NewTraceSource(tr), WholeSpec(), opts)
 	if err != nil {
-		return nil, fmt.Errorf("core: %w", err)
+		return nil, err
 	}
-	rep := assemble(out, opts)
+	rep, err := Reduce([]*Partial{p}, nil, opts)
+	if err != nil {
+		return nil, err
+	}
 	if valWarn != "" {
 		rep.Warnings = append([]string{valWarn}, rep.Warnings...)
 		rep.Degraded = true

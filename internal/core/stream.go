@@ -42,11 +42,39 @@ func AnalyzeStreamContext(ctx context.Context, r io.Reader, opts Options) (*Repo
 		}
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	out, err := pipeline.RunContext(ctx, sr, opts.pipelineConfig())
+	// One whole-stream shard through the map/reduce algebra; Reduce of a
+	// single whole partial reproduces the single-pass analysis exactly, and
+	// the fused online path travels through the same composition.
+	p, err := MapShardContext(ctx, sr, WholeSpec(), opts)
 	if err != nil {
+		return nil, err
+	}
+	return Reduce([]*Partial{p}, nil, opts)
+}
+
+// MapShardStreamContext is the worker half of a distributed analysis:
+// it decodes one encoded shard from r (strict or salvage mode per
+// opts.Lenient, reads fenced by ctx like AnalyzeStreamContext) and runs
+// the map half of the algebra over it, returning the mergeable Partial
+// for a coordinator to Reduce. spec must carry the shard's place in the
+// split — Reduce uses it to detect missing shards.
+func MapShardStreamContext(ctx context.Context, r io.Reader, spec ShardSpec, opts Options) (*Partial, error) {
+	opts.setDefaults()
+	if ctx.Done() != nil {
+		r = &ctxReader{ctx: ctx, r: r}
+	}
+	mode := trace.Strict
+	if opts.Lenient {
+		mode = trace.Lenient
+	}
+	sr, err := trace.NewStreamReaderMode(r, mode)
+	if err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("core: %w", cerr)
+		}
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	return assemble(out, opts), nil
+	return MapShardContext(ctx, sr, spec, opts)
 }
 
 // ctxReader fences each Read with a context check, so a decoder pulling

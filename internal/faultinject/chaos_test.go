@@ -13,6 +13,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"testing"
 	"time"
 
@@ -280,6 +281,94 @@ func TestChaosSalvageAccuracy(t *testing.T) {
 	if kept == 0 || kept >= total {
 		t.Fatalf("salvaged %d of %d records, want a proper prefix", kept, total)
 	}
+}
+
+// TestChaosCoordinatorWorkerFaults drives a sharded analysis through a
+// coordinator whose worker farm includes one misbehaving member — a
+// worker that alternates hard 500s with accepted-then-stalled
+// connections. The contract mirrors the single-daemon one: as long as
+// any worker survives, the request answers 200 with a well-formed
+// report (degraded with per-shard warnings if a shard was truly lost,
+// complete if failover covered it); the coordinator itself never
+// crashes or hangs.
+func TestChaosCoordinatorWorkerFaults(t *testing.T) {
+	enc := encodedTrace(t)
+
+	var calls int64
+	var mu sync.Mutex
+	flaky := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		if n%2 == 0 {
+			time.Sleep(5 * time.Second) // past AttemptTimeout: a stall
+			return
+		}
+		http.Error(w, "chaos", http.StatusInternalServerError)
+	}))
+	defer flaky.Close()
+
+	// Explicit worker capacity: the coordinator fans shards out in
+	// parallel, and a default worker on a 1-core runner (Jobs =
+	// GOMAXPROCS = 1) would 429 concurrent shards.
+	healthy := make([]string, 2)
+	for i := range healthy {
+		srv := httptest.NewServer(foldsvc.NewServer(foldsvc.Config{Jobs: 16}))
+		defer srv.Close()
+		healthy[i] = srv.URL
+	}
+
+	coord := httptest.NewServer(foldsvc.NewServer(foldsvc.Config{
+		Workers: append(healthy, flaky.URL),
+		Shards:  4,
+		WorkerClient: foldsvc.ClientConfig{
+			MaxAttempts:    1,
+			BaseBackoff:    time.Millisecond,
+			AttemptTimeout: 300 * time.Millisecond,
+		},
+	}))
+	defer coord.Close()
+
+	for round := 0; round < 3; round++ {
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			resp, err := http.Post(coord.URL+"/v1/analyze",
+				"application/octet-stream", bytes.NewReader(enc))
+			if err != nil {
+				t.Errorf("round %d: coordinated request failed at transport level: %v", round, err)
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				body, _ := io.ReadAll(resp.Body)
+				t.Errorf("round %d: status %d with healthy workers available: %s",
+					round, resp.StatusCode, body)
+				return
+			}
+			var rep core.Report
+			if derr := json.NewDecoder(resp.Body).Decode(&rep); derr != nil {
+				t.Errorf("round %d: 200 with undecodable report: %v", round, derr)
+				return
+			}
+			checkContract(t, &rep, nil)
+			if len(rep.Phases) == 0 {
+				t.Errorf("round %d: report carries no phases", round)
+			}
+		}()
+		select {
+		case <-done:
+		case <-time.After(60 * time.Second):
+			t.Fatal("coordinated analysis hung with a faulty worker in the farm")
+		}
+	}
+
+	resp, err := http.Get(coord.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("coordinator unhealthy after chaos: %v", err)
+	}
+	resp.Body.Close()
 }
 
 func TestChaosStallWatchdog(t *testing.T) {

@@ -78,6 +78,7 @@ type Client struct {
 	rngState    uint64
 	consecFails int
 	openUntil   time.Time
+	probing     bool
 }
 
 // NewClient validates cfg, applies defaults, and returns a ready
@@ -139,10 +140,33 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 // The trace is passed as bytes because a retry must replay the body
 // from the start.
 func (c *Client) Analyze(ctx context.Context, enc []byte, query url.Values) (*core.Report, error) {
-	if err := c.admit(); err != nil {
+	var rep core.Report
+	if err := c.do(ctx, "/v1/analyze", enc, query, &rep); err != nil {
 		return nil, err
 	}
-	u := c.cfg.BaseURL + "/v1/analyze"
+	return &rep, nil
+}
+
+// Partial posts an encoded trace shard to the daemon's /v1/partial and
+// decodes the mergeable core.Partial — the coordinator's worker call.
+// query must carry the shard's place in the split (shard, shards, mode,
+// resume) alongside the analysis knobs; retry, backoff and breaker
+// behavior are identical to Analyze.
+func (c *Client) Partial(ctx context.Context, enc []byte, query url.Values) (*core.Partial, error) {
+	var p core.Partial
+	if err := c.do(ctx, "/v1/partial", enc, query, &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// do runs the shared retry loop: admit through the breaker, POST enc to
+// path, decode the JSON response into out.
+func (c *Client) do(ctx context.Context, path string, enc []byte, query url.Values, out any) error {
+	if err := c.admit(); err != nil {
+		return err
+	}
+	u := c.cfg.BaseURL + path
 	if len(query) > 0 {
 		u += "?" + query.Encode()
 	}
@@ -154,21 +178,25 @@ func (c *Client) Analyze(ctx context.Context, enc []byte, query url.Values) (*co
 				c.retries.Inc()
 			}
 			if err := c.sleep(ctx, c.backoff(attempt, lastErr)); err != nil {
-				return nil, fmt.Errorf("foldsvc: %w", err)
+				return fmt.Errorf("foldsvc: %w", err)
 			}
 		}
-		rep, retryable, err := c.attempt(ctx, u, enc)
+		raw, retryable, err := c.attempt(ctx, u, enc)
 		if err == nil {
+			if err := json.Unmarshal(raw, out); err != nil {
+				c.noteFailure()
+				return fmt.Errorf("foldsvc: decoding response: %w", err)
+			}
 			c.noteSuccess()
-			return rep, nil
+			return nil
 		}
 		c.noteFailure()
 		lastErr = err
 		if !retryable || ctx.Err() != nil {
-			return nil, lastErr
+			return lastErr
 		}
 	}
-	return nil, fmt.Errorf("foldsvc: %d attempts failed: %w", c.cfg.MaxAttempts, lastErr)
+	return fmt.Errorf("foldsvc: %d attempts failed: %w", c.cfg.MaxAttempts, lastErr)
 }
 
 // retryAfterError carries a 429/503 response's Retry-After hint through
@@ -180,9 +208,11 @@ type retryAfterError struct {
 
 func (e *retryAfterError) Error() string { return e.msg }
 
-// attempt runs one HTTP round trip. The second return reports whether
-// the failure is worth retrying.
-func (c *Client) attempt(ctx context.Context, u string, enc []byte) (*core.Report, bool, error) {
+// attempt runs one HTTP round trip and returns the complete response
+// body as one JSON value. The second return reports whether the failure
+// is worth retrying; keeping the decode-into-target step out of the
+// retry loop means a torn attempt can never leave stale fields behind.
+func (c *Client) attempt(ctx context.Context, u string, enc []byte) (json.RawMessage, bool, error) {
 	actx := ctx
 	if c.cfg.AttemptTimeout > 0 {
 		var cancel context.CancelFunc
@@ -220,13 +250,13 @@ func (c *Client) attempt(ctx context.Context, u string, enc []byte) (*core.Repor
 		}
 	}
 
-	var rep core.Report
-	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+	var raw json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
 		// A torn response body usually means the server died mid-write;
 		// the request is safe to replay.
-		return nil, true, fmt.Errorf("foldsvc: decoding report: %w", err)
+		return nil, true, fmt.Errorf("foldsvc: decoding response: %w", err)
 	}
-	return &rep, false, nil
+	return raw, false, nil
 }
 
 // parseRetryAfter reads a Retry-After header's delay-seconds form (the
@@ -271,8 +301,11 @@ func (c *Client) backoff(attempt int, lastErr error) time.Duration {
 	return d
 }
 
-// admit applies the circuit breaker: fail fast while it is open, let a
-// probe through once the cooldown has elapsed.
+// admit applies the circuit breaker: fail fast while it is open, and
+// once the cooldown has elapsed let exactly one caller through as the
+// half-open probe. Concurrent callers arriving while the probe is in
+// flight still fail fast — a worker that just spent a cooldown down
+// should see one request, not a thundering herd.
 func (c *Client) admit() error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -282,12 +315,13 @@ func (c *Client) admit() error {
 	if time.Now().Before(c.openUntil) {
 		return fmt.Errorf("%w until %s", ErrBreakerOpen, c.openUntil.Format(time.RFC3339))
 	}
-	// Half-open: allow this call as a probe; a failure re-opens the
-	// breaker immediately (consecFails is still at the threshold).
-	c.openUntil = time.Time{}
-	if c.breakerOpen != nil {
-		c.breakerOpen.Set(0)
+	if c.probing {
+		return fmt.Errorf("%w (half-open probe in flight)", ErrBreakerOpen)
 	}
+	// Half-open: this call is the probe. openUntil stays set so every
+	// other caller keeps failing fast until the probe settles — success
+	// closes the breaker, failure re-opens it for a fresh cooldown.
+	c.probing = true
 	return nil
 }
 
@@ -297,18 +331,27 @@ func (c *Client) noteSuccess() {
 	defer c.mu.Unlock()
 	c.consecFails = 0
 	c.openUntil = time.Time{}
+	c.probing = false
 	if c.breakerOpen != nil {
 		c.breakerOpen.Set(0)
 	}
 }
 
-// noteFailure counts a failed attempt and opens the breaker at the
-// threshold.
+// noteFailure counts a failed attempt, opens the breaker at the
+// threshold, and re-opens it when a half-open probe fails.
 func (c *Client) noteFailure() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.consecFails++
-	if c.consecFails >= c.cfg.BreakerThreshold && c.openUntil.IsZero() {
+	open := false
+	if c.probing {
+		// The probe failed: a fresh cooldown starts now.
+		c.probing = false
+		open = true
+	} else if c.consecFails >= c.cfg.BreakerThreshold && c.openUntil.IsZero() {
+		open = true
+	}
+	if open {
 		c.openUntil = time.Now().Add(c.cfg.BreakerCooldown)
 		if c.breakerTrips != nil {
 			c.breakerTrips.Inc()

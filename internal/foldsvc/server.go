@@ -60,6 +60,24 @@ type Config struct {
 	PathRoot string
 	// Logger receives the daemon's structured log stream.
 	Logger *slog.Logger
+
+	// Workers, when non-empty, puts the daemon in coordinator mode: an
+	// upload to /v1/analyze is split into shards, fanned out to these
+	// worker daemons' /v1/partial routes (consistent-hash routed on the
+	// trace digest, one failover, per-backend circuit breakers), and the
+	// partials are reduced locally into the Report. A failed shard
+	// degrades the Report with per-shard warnings instead of failing the
+	// request; only all shards failing is an error.
+	Workers []string
+	// Shards is the shard count for coordinated analyses; 0 defaults to
+	// len(Workers).
+	Shards int
+	// ShardMode selects how coordinated uploads are split (default
+	// core.ShardTime).
+	ShardMode core.ShardMode
+	// WorkerClient seeds the per-backend client configuration (BaseURL is
+	// overridden per worker; Registry defaults to the server's own).
+	WorkerClient ClientConfig
 }
 
 // Server is the analysis daemon: an http.Handler serving trace analysis,
@@ -74,6 +92,8 @@ type Server struct {
 	inflight  *obs.Gauge
 	cancelled *obs.Counter
 	panics    *obs.Counter
+
+	coord *coordinator // nil unless Config.Workers is set
 }
 
 // NewServer wires the daemon's routes and metric families.
@@ -137,7 +157,13 @@ func NewServer(cfg Config) *Server {
 			func() float64 { return float64(parallel.Pools()[typ].Misses) })
 	}
 
-	s.mux.Handle("/v1/analyze", s.instrument("/v1/analyze", s.handleAnalyze))
+	if len(cfg.Workers) > 0 {
+		s.coord = newCoordinator(s)
+		s.mux.Handle("/v1/analyze", s.instrument("/v1/analyze", s.handleCoordinate))
+	} else {
+		s.mux.Handle("/v1/analyze", s.instrument("/v1/analyze", s.handleAnalyze))
+	}
+	s.mux.Handle("/v1/partial", s.instrument("/v1/partial", s.handlePartial))
 	s.mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.Handle("/metrics", s.reg.Handler())
 	obs.RegisterPprof(s.mux)

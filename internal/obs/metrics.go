@@ -193,8 +193,10 @@ func NewRegistry() *Registry {
 }
 
 // lookup finds or creates the family and series for (name, labels),
-// enforcing that a name is never reused with a different kind.
-func (r *Registry) lookup(name, help string, kind metricKind, labels Labels) *series {
+// enforcing that a name is never reused with a different kind. init runs
+// under the registry lock so concurrent first resolutions of one series
+// initialize its payload exactly once.
+func (r *Registry) lookup(name, help string, kind metricKind, labels Labels, init func(*series)) *series {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	f := r.families[name]
@@ -213,6 +215,9 @@ func (r *Registry) lookup(name, help string, kind metricKind, labels Labels) *se
 		f.series[k] = s
 		f.order = append(f.order, k)
 	}
+	if init != nil {
+		init(s)
+	}
 	return s
 }
 
@@ -221,20 +226,22 @@ func (r *Registry) lookup(name, help string, kind metricKind, labels Labels) *se
 // return the same underlying series, so call sites may re-resolve
 // per request without duplicating output.
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
-	s := r.lookup(name, help, kindCounter, Labels(labels))
-	if s.c == nil {
-		s.c = &Counter{}
-	}
+	s := r.lookup(name, help, kindCounter, Labels(labels), func(s *series) {
+		if s.c == nil {
+			s.c = &Counter{}
+		}
+	})
 	return s.c
 }
 
 // Gauge returns the gauge named name with the given label set, creating
 // it on first use.
 func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
-	s := r.lookup(name, help, kindGauge, Labels(labels))
-	if s.g == nil {
-		s.g = &Gauge{}
-	}
+	s := r.lookup(name, help, kindGauge, Labels(labels), func(s *series) {
+		if s.g == nil {
+			s.g = &Gauge{}
+		}
+	})
 	return s.g
 }
 
@@ -243,22 +250,25 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 // goroutine counts, uptime). Registering the same (name, labels) twice
 // replaces the callback.
 func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
-	s := r.lookup(name, help, kindGaugeFunc, labels)
-	s.fn = fn
+	r.lookup(name, help, kindGaugeFunc, labels, func(s *series) {
+		s.fn = fn
+	})
 }
 
 // Histogram returns the histogram named name with the given label set
 // and upper bucket bounds (ascending; the +Inf bucket is implicit; nil
 // selects DefBuckets), creating it on first use.
 func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
-	s := r.lookup(name, help, kindHistogram, Labels(labels))
-	if s.h == nil {
-		if buckets == nil {
-			buckets = DefBuckets
+	s := r.lookup(name, help, kindHistogram, Labels(labels), func(s *series) {
+		if s.h != nil {
+			return
 		}
-		h := &Histogram{bounds: buckets, counts: make([]atomic.Uint64, len(buckets))}
-		s.h = h
-	}
+		b := buckets
+		if b == nil {
+			b = DefBuckets
+		}
+		s.h = &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b))}
+	})
 	return s.h
 }
 

@@ -75,6 +75,20 @@ type Config struct {
 	// path remains the reference implementation. core sets this from
 	// Options.Columnar, which defaults it on.
 	Columnar bool
+	// Partial selects the map half of the sharded analysis algebra: the
+	// run extracts, filters, sorts and attaches as usual but resolves no
+	// phases — clustering, classification and fallback splitting are
+	// deferred to the reduce step, which sees every shard's bursts at
+	// once. The Outcome then carries the mergeable state (Kept, Attached,
+	// Marks, RankBursts, ProfilePartial) instead of a clustering. Partial
+	// and Online are mutually exclusive; core enforces that before
+	// building a Config.
+	Partial bool
+	// Resume marks a shard that does not start at the trace origin, so a
+	// rank's first MPI event may legally be an exit (the head of a call
+	// opened by the previous shard). It only affects the flat-profile
+	// fragment; the burst extractor is self-synchronizing at MPI exits.
+	Resume bool
 	// Lenient enables degraded-mode analysis: when the clustering over the
 	// kept bursts degenerates to zero clusters, a duration-quantile
 	// fallback split keeps the run useful (recorded in Outcome.Warnings).
@@ -171,6 +185,18 @@ type Outcome struct {
 	ProfileErr string
 	// Iterations summarizes EvIteration markers.
 	Iterations structure.IterationStats
+	// KeptTime and AllTime are the burst-time sums behind CoverageKept,
+	// exposed so a reduce step can recompute coverage over all shards.
+	KeptTime, AllTime trace.Time
+	// RankBursts counts extracted (pre-filter) bursts per rank; a reduce
+	// step uses the per-shard counts to rebase Burst.Index offsets.
+	RankBursts []int
+	// Marks holds the raw per-rank iteration marker times behind
+	// Iterations, mergeable by per-rank concatenation in shard order.
+	Marks map[int32][]trace.Time
+	// ProfilePartial is the mergeable flat-profile fragment (Partial mode
+	// only; the merged Profile is nil then).
+	ProfilePartial *profile.Partial
 	// Attached holds, per kept burst, its samples (exact mode only).
 	Attached [][]trace.Sample
 	// OnlinePhases holds the per-phase incremental folds (online mode
@@ -212,12 +238,13 @@ type analysis struct {
 	pool sync.Pool
 
 	// extract stage
-	records  RecordCounts
-	bursts   int
-	keptTime trace.Time
-	allTime  trace.Time
-	prof     *profile.Builder
-	marks    map[int32][]trace.Time
+	records    RecordCounts
+	bursts     int
+	rankBursts []int
+	keptTime   trace.Time
+	allTime    trace.Time
+	prof       *profile.PartialBuilder
+	marks      map[int32][]trace.Time
 
 	// phase stage
 	kept       []burst.Burst
@@ -283,7 +310,8 @@ func RunContext(ctx context.Context, src trace.Source, cfg Config) (*Outcome, er
 		return nil, err
 	}
 	a := &analysis{cfg: cfg, meta: meta, marks: map[int32][]trace.Time{}}
-	a.prof, _ = profile.NewBuilder(meta.Ranks) // ranks >= 1 was validated
+	a.rankBursts = make([]int, meta.Ranks)
+	a.prof, _ = profile.NewPartialBuilder(meta.Ranks, cfg.Resume) // ranks >= 1 was validated
 
 	p := New()
 	p.Logger = cfg.Logger
@@ -408,6 +436,7 @@ func (a *analysis) extractStage(p *Pipeline, in <-chan *block) <-chan *block {
 				}
 				if ok {
 					a.bursts++
+					a.rankBursts[b.Rank]++
 					d := b.Duration()
 					a.allTime += d
 					if d >= a.cfg.MinBurstDuration {
@@ -501,7 +530,11 @@ func (a *analysis) finalize(m *Metrics) {
 		a.train()
 	}
 	burst.Sort(a.kept)
-	if !a.cfg.Online {
+	if a.cfg.Partial {
+		// Map half of the sharded algebra: phases are resolved at reduce
+		// time over every shard's bursts, so this run only fixes the
+		// canonical order and builds the attachment routing below.
+	} else if !a.cfg.Online {
 		if len(a.kept) > 0 {
 			a.clustering = cluster.ClusterBursts(a.kept, a.cfg.Cluster)
 			if a.clustering.K == 0 && a.cfg.Lenient {
@@ -523,9 +556,11 @@ func (a *analysis) finalize(m *Metrics) {
 		// the quantile split instead of a zero-phase report.
 		a.fallbackClustering("online classifier unavailable")
 	}
-	for i := range a.kept {
-		if a.kept[i].Cluster != cluster.Noise {
-			m.RecordsOut++
+	if !a.cfg.Partial {
+		for i := range a.kept {
+			if a.kept[i].Cluster != cluster.Noise {
+				m.RecordsOut++
+			}
 		}
 	}
 
@@ -680,8 +715,14 @@ func (a *analysis) outcome(p *Pipeline) *Outcome {
 		Iterations: structure.IterationsFromMarks(a.marks),
 		Decode:     a.decode,
 		Warnings:   a.warnings,
+		KeptTime:   a.keptTime,
+		AllTime:    a.allTime,
+		RankBursts: a.rankBursts,
+		Marks:      a.marks,
 	}
-	if prof, err := a.prof.Finish(a.meta.Duration); err == nil {
+	if a.cfg.Partial {
+		out.ProfilePartial = a.prof.Partial()
+	} else if prof, err := profile.Merge([]*profile.Partial{a.prof.Partial()}, a.meta.Duration); err == nil {
 		out.Profile = prof
 	} else {
 		out.ProfileErr = err.Error()
@@ -692,7 +733,7 @@ func (a *analysis) outcome(p *Pipeline) *Outcome {
 	if a.allTime > 0 {
 		out.CoverageKept = float64(a.keptTime) / float64(a.allTime)
 	}
-	if len(a.kept) > 0 {
+	if len(a.kept) > 0 && !a.cfg.Partial {
 		if len(a.clustering.Assign) == len(a.kept) {
 			out.ClusterTimeCoverage = cluster.ClusterTimeCoverage(a.kept, a.clustering.Assign)
 		}

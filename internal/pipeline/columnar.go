@@ -114,6 +114,7 @@ func (a *analysis) extractStageCols(p *Pipeline, in <-chan *cblock) <-chan *cblo
 				}
 				if ok {
 					a.bursts++
+					a.rankBursts[b.Rank]++
 					d := b.Duration()
 					a.allTime += d
 					if d >= a.cfg.MinBurstDuration {

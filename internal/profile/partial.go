@@ -1,0 +1,258 @@
+package profile
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+)
+
+// RankPartial is one rank's share of a shard-local profile fragment. All
+// sums are interior to the shard: spans that straddle the shard boundary
+// (a leading compute span measured from virtual 0, or an MPI call still
+// open when the shard ends) are described by the boundary fields and
+// settled during Merge, where the neighbouring shard's state is known.
+type RankPartial struct {
+	// Seen reports whether the rank had any MPI event in this shard; an
+	// unseen rank is an identity element for Merge.
+	Seen bool
+	// HasHead marks a shard whose first MPI event for this rank was an
+	// exit (legal only when the builder was created with resume=true):
+	// the call it closes was opened by an earlier shard, so its duration
+	// and operation are owed by Merge, not by this fragment. HeadExit is
+	// that exit's timestamp.
+	HasHead  bool
+	HeadExit trace.Time
+	// FirstIsEnter / FirstEnter record that the rank's first MPI event
+	// was an enter and when — Merge needs the time to report the exact
+	// alternation violation a single-pass Builder would have reported.
+	FirstIsEnter bool
+	FirstEnter   trace.Time
+	// ComputeTime, MPITime and MPICalls are the interior sums. When the
+	// first event was an enter the leading compute span is measured from
+	// virtual time 0; Merge re-bases it onto the previous shard's last
+	// MPI-exit boundary.
+	ComputeTime trace.Time
+	MPITime     trace.Time
+	MPICalls    int
+	// LastBoundary is the last MPI-exit time seen (the start of the
+	// trailing compute span the next shard or Merge must account).
+	LastBoundary trace.Time
+	// In, OpenOp and OpenSince describe an MPI call still open when the
+	// shard ended; the next shard's head exit closes it in Merge.
+	In        bool
+	OpenOp    trace.MPIOp
+	OpenSince trace.Time
+}
+
+// Partial is a mergeable fragment of a flat profile, produced by a
+// PartialBuilder over one shard of a trace. Partials serialize to JSON
+// and merge associatively in shard order via Merge.
+type Partial struct {
+	// Ranks holds per-rank fragments, indexed by rank.
+	Ranks []RankPartial
+	// Ops aggregates completed (interior) MPI calls, sorted by op for a
+	// stable encoding. Calls closed by a head exit are attributed during
+	// Merge instead.
+	Ops []OpStats
+	// Err carries a latched invariant violation; Merge refuses partials
+	// with a non-empty Err, mirroring Builder.Finish.
+	Err string `json:",omitempty"`
+}
+
+// PartialBuilder accumulates one shard's profile fragment, one event at
+// a time. With resume=false it enforces the same invariants as Builder
+// (a leading exit is an error); with resume=true a rank's leading exit
+// is legal and recorded as the shard's head, to be settled by Merge.
+type PartialBuilder struct {
+	ranks  []RankPartial
+	ops    map[trace.MPIOp]*OpStats
+	resume bool
+	err    error
+}
+
+// NewPartialBuilder creates a builder for one shard of a trace with the
+// given rank count. resume marks a shard that does not start at the
+// trace origin, so ranks may legally open with an MPI exit.
+func NewPartialBuilder(ranks int, resume bool) (*PartialBuilder, error) {
+	if ranks < 1 {
+		return nil, fmt.Errorf("profile: trace has no ranks")
+	}
+	return &PartialBuilder{
+		ranks:  make([]RankPartial, ranks),
+		ops:    map[trace.MPIOp]*OpStats{},
+		resume: resume,
+	}, nil
+}
+
+// Add feeds one event (events must arrive in per-rank trace order). The
+// first invariant violation is latched into the resulting Partial;
+// further events are ignored after it.
+func (b *PartialBuilder) Add(e *trace.Event) {
+	if b.err != nil || e.Type != trace.EvMPI {
+		return
+	}
+	if e.Rank < 0 || int(e.Rank) >= len(b.ranks) {
+		b.err = fmt.Errorf("profile: event rank %d out of range", e.Rank)
+		return
+	}
+	st := &b.ranks[e.Rank]
+	if !st.Seen {
+		st.Seen = true
+		if e.Value != 0 {
+			st.FirstIsEnter = true
+			st.FirstEnter = e.Time
+		} else {
+			if !b.resume {
+				b.err = fmt.Errorf("profile: rank %d exits MPI at %d while outside", e.Rank, e.Time)
+				return
+			}
+			st.HasHead = true
+			st.HeadExit = e.Time
+			st.LastBoundary = e.Time
+			return
+		}
+	}
+	if e.Value != 0 {
+		if st.In {
+			b.err = fmt.Errorf("profile: rank %d enters MPI at %d while inside", e.Rank, e.Time)
+			return
+		}
+		st.ComputeTime += e.Time - st.LastBoundary
+		st.OpenOp = trace.MPIOp(e.Value)
+		st.OpenSince = e.Time
+		st.In = true
+	} else {
+		if !st.In {
+			b.err = fmt.Errorf("profile: rank %d exits MPI at %d while outside", e.Rank, e.Time)
+			return
+		}
+		d := e.Time - st.OpenSince
+		st.MPITime += d
+		st.MPICalls++
+		o := b.ops[st.OpenOp]
+		if o == nil {
+			o = &OpStats{Op: st.OpenOp}
+			b.ops[st.OpenOp] = o
+		}
+		o.Calls++
+		o.Time += d
+		st.LastBoundary = e.Time
+		st.In = false
+	}
+}
+
+// Partial snapshots the fragment built so far. The builder may keep
+// accumulating afterwards; the snapshot is independent.
+func (b *PartialBuilder) Partial() *Partial {
+	p := &Partial{Ranks: append([]RankPartial(nil), b.ranks...)}
+	for _, o := range b.ops {
+		p.Ops = append(p.Ops, *o)
+	}
+	sort.Slice(p.Ops, func(i, j int) bool { return p.Ops[i].Op < p.Ops[j].Op })
+	if b.err != nil {
+		p.Err = b.err.Error()
+	}
+	return p
+}
+
+// Merge folds shard partials (in shard/time order) into the whole-trace
+// flat profile, settling every boundary span: a head exit closes the
+// previous shard's open call, a leading compute span is re-based onto
+// the previous shard's last boundary, and the trailing compute span runs
+// to the trace end. Merging the single partial of a resume=false builder
+// is exactly Builder.Finish — same sums (all integer, so order-exact)
+// and same error messages.
+func Merge(parts []*Partial, duration trace.Time) (*Profile, error) {
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("profile: no partials to merge")
+	}
+	n := len(parts[0].Ranks)
+	if n < 1 {
+		return nil, fmt.Errorf("profile: trace has no ranks")
+	}
+	for _, part := range parts {
+		if len(part.Ranks) != n {
+			return nil, fmt.Errorf("profile: partial rank counts differ (%d vs %d)", len(part.Ranks), n)
+		}
+		if part.Err != "" {
+			return nil, errors.New(part.Err)
+		}
+	}
+
+	p := &Profile{Duration: duration, Ranks: make([]RankStats, n)}
+	ops := map[trace.MPIOp]*OpStats{}
+	addOp := func(op trace.MPIOp, calls int, d trace.Time) {
+		o := ops[op]
+		if o == nil {
+			o = &OpStats{Op: op}
+			ops[op] = o
+		}
+		o.Calls += calls
+		o.Time += d
+	}
+
+	for r := 0; r < n; r++ {
+		rs := &p.Ranks[r]
+		rs.Rank = int32(r)
+		var last trace.Time
+		in := false
+		var openOp trace.MPIOp
+		var openSince trace.Time
+		for _, part := range parts {
+			rp := &part.Ranks[r]
+			if !rp.Seen {
+				continue
+			}
+			if rp.HasHead {
+				if !in {
+					return nil, fmt.Errorf("profile: rank %d exits MPI at %d while outside", r, rp.HeadExit)
+				}
+				d := rp.HeadExit - openSince
+				rs.MPITime += d
+				rs.MPICalls++
+				addOp(openOp, 1, d)
+				in = false
+			} else {
+				if in {
+					return nil, fmt.Errorf("profile: rank %d enters MPI at %d while inside", r, rp.FirstEnter)
+				}
+				// The shard measured its leading compute span from virtual
+				// 0; re-base it onto the carried boundary.
+				rs.ComputeTime -= last
+			}
+			rs.ComputeTime += rp.ComputeTime
+			rs.MPITime += rp.MPITime
+			rs.MPICalls += rp.MPICalls
+			last = rp.LastBoundary
+			in = rp.In
+			openOp = rp.OpenOp
+			openSince = rp.OpenSince
+		}
+		if in {
+			return nil, fmt.Errorf("profile: rank %d trace ends inside MPI", r)
+		}
+		rs.ComputeTime += duration - last
+	}
+
+	for _, part := range parts {
+		for _, o := range part.Ops {
+			addOp(o.Op, o.Calls, o.Time)
+		}
+	}
+	for _, rs := range p.Ranks {
+		p.TotalCompute += rs.ComputeTime
+		p.TotalMPI += rs.MPITime
+	}
+	for _, o := range ops {
+		p.Ops = append(p.Ops, *o)
+	}
+	sort.Slice(p.Ops, func(i, j int) bool {
+		if p.Ops[i].Time != p.Ops[j].Time {
+			return p.Ops[i].Time > p.Ops[j].Time
+		}
+		return p.Ops[i].Op < p.Ops[j].Op
+	})
+	return p, nil
+}

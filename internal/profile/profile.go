@@ -8,7 +8,6 @@ package profile
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/trace"
 )
@@ -73,107 +72,33 @@ func (p *Profile) LoadBalance() float64 {
 
 // Builder accumulates the flat profile incrementally, one event at a
 // time, so a streaming consumer can profile a trace it never
-// materializes. Compute is a thin batch wrapper over it.
+// materializes. Compute is a thin batch wrapper over it. Builder is the
+// single-shard composition of the mergeable algebra: a resume=false
+// PartialBuilder whose one Partial is folded by Merge.
 type Builder struct {
-	ranks        []RankStats
-	state        []openMPI
-	lastBoundary []trace.Time
-	ops          map[trace.MPIOp]*OpStats
-	err          error
-}
-
-type openMPI struct {
-	op    trace.MPIOp
-	since trace.Time
-	in    bool
+	pb *PartialBuilder
 }
 
 // NewBuilder creates a profile builder for the given rank count.
 func NewBuilder(ranks int) (*Builder, error) {
-	if ranks < 1 {
-		return nil, fmt.Errorf("profile: trace has no ranks")
+	pb, err := NewPartialBuilder(ranks, false)
+	if err != nil {
+		return nil, err
 	}
-	b := &Builder{
-		ranks:        make([]RankStats, ranks),
-		state:        make([]openMPI, ranks),
-		lastBoundary: make([]trace.Time, ranks),
-		ops:          map[trace.MPIOp]*OpStats{},
-	}
-	for r := range b.ranks {
-		b.ranks[r].Rank = int32(r)
-	}
-	return b, nil
+	return &Builder{pb: pb}, nil
 }
 
 // Add feeds one event (events must arrive in trace order). The first
 // invariant violation is latched and later reported by Finish; further
 // events are ignored after it.
 func (b *Builder) Add(e *trace.Event) {
-	if b.err != nil || e.Type != trace.EvMPI {
-		return
-	}
-	if e.Rank < 0 || int(e.Rank) >= len(b.state) {
-		b.err = fmt.Errorf("profile: event rank %d out of range", e.Rank)
-		return
-	}
-	st := &b.state[e.Rank]
-	rs := &b.ranks[e.Rank]
-	if e.Value != 0 {
-		if st.in {
-			b.err = fmt.Errorf("profile: rank %d enters MPI at %d while inside", e.Rank, e.Time)
-			return
-		}
-		rs.ComputeTime += e.Time - b.lastBoundary[e.Rank]
-		st.op = trace.MPIOp(e.Value)
-		st.since = e.Time
-		st.in = true
-	} else {
-		if !st.in {
-			b.err = fmt.Errorf("profile: rank %d exits MPI at %d while outside", e.Rank, e.Time)
-			return
-		}
-		d := e.Time - st.since
-		rs.MPITime += d
-		rs.MPICalls++
-		o := b.ops[st.op]
-		if o == nil {
-			o = &OpStats{Op: st.op}
-			b.ops[st.op] = o
-		}
-		o.Calls++
-		o.Time += d
-		b.lastBoundary[e.Rank] = e.Time
-		st.in = false
-	}
+	b.pb.Add(e)
 }
 
 // Finish closes the profile at the trace end time, accounting trailing
 // compute, and returns the assembled profile or the first error seen.
 func (b *Builder) Finish(duration trace.Time) (*Profile, error) {
-	if b.err != nil {
-		return nil, b.err
-	}
-	p := &Profile{Duration: duration, Ranks: b.ranks}
-	for r := range b.state {
-		if b.state[r].in {
-			return nil, fmt.Errorf("profile: rank %d trace ends inside MPI", r)
-		}
-		p.Ranks[r].ComputeTime += duration - b.lastBoundary[r]
-	}
-	for _, rs := range p.Ranks {
-		p.TotalCompute += rs.ComputeTime
-		p.TotalMPI += rs.MPITime
-	}
-	for _, o := range b.ops {
-		p.Ops = append(p.Ops, *o)
-	}
-	sort.Slice(p.Ops, func(i, j int) bool {
-		if p.Ops[i].Time != p.Ops[j].Time {
-			return p.Ops[i].Time > p.Ops[j].Time
-		}
-		return p.Ops[i].Op < p.Ops[j].Op
-	})
-	return p, nil
+	return Merge([]*Partial{b.pb.Partial()}, duration)
 }
 
 // Compute builds the flat profile of a trace. The trace must be valid

@@ -54,6 +54,17 @@ type DecodeStats struct {
 	Truncated bool
 }
 
+// Add folds another decode's salvage tally into st — the merge used when
+// a sharded analysis combines per-shard decode stats into one summary.
+func (st *DecodeStats) Add(o DecodeStats) {
+	st.DroppedEvents += o.DroppedEvents
+	st.DroppedSamples += o.DroppedSamples
+	st.DroppedComms += o.DroppedComms
+	st.BadSections += o.BadSections
+	st.Resyncs += o.Resyncs
+	st.Truncated = st.Truncated || o.Truncated
+}
+
 // Dropped returns the total number of records lost across all kinds.
 func (st DecodeStats) Dropped() int64 {
 	return st.DroppedEvents + st.DroppedSamples + st.DroppedComms
