@@ -3,13 +3,17 @@
 #   make check    — tier-2: gofmt + vet + race-enabled tests (catches data
 #                   races in the parallel analysis engine) + the doc-comment
 #                   gate (internal/doccheck fails on undocumented exported
-#                   API) + the property tests that pin the indexed
-#                   clustering kernels to their brute-force references + a
-#                   short fuzz run over the trace decoder (row and columnar
-#                   paths) + a build of every example the docs reference +
-#                   the benchmark regression gate (benchjson -gate fails on
-#                   any >10% ns/op or B/op regression between the two
-#                   newest BENCH_<date>.json snapshots from the same runner)
+#                   API) + the result-cache acceptance tests under -race
+#                   (cached Reports byte-identical to fresh across
+#                   strict/lenient × row/columnar × sharded; N concurrent
+#                   identical uploads coalesce onto one pipeline run) + the
+#                   property tests that pin the indexed clustering kernels
+#                   to their brute-force references + a short fuzz run over
+#                   the trace decoder (row and columnar paths) + a build of
+#                   every example the docs reference + the benchmark
+#                   regression gate (benchjson -gate fails on any >10%
+#                   ns/op or B/op regression between the two newest
+#                   BENCH_<date>.json snapshots from the same runner)
 #   make chaos    — the fault-injection suite under the race detector:
 #                   full traces driven through the batch, streaming and
 #                   HTTP analysis paths with truncation, bit-flips, short
@@ -49,6 +53,7 @@ check:
 	$(GO) vet ./...
 	$(GO) test -count 1 ./internal/doccheck
 	$(GO) test -race ./...
+	$(GO) test -race -count 1 -run 'TestCacheEquivalence|TestCacheSingleflight' ./internal/foldsvc/
 	$(GO) test -run 'Property' -count 1 ./internal/cluster
 	$(GO) test -run '^$$' -fuzz FuzzReadFrom$$ -fuzztime $(FUZZTIME) ./internal/trace
 	$(GO) test -run '^$$' -fuzz FuzzReadFromLenient -fuzztime $(FUZZTIME) ./internal/trace

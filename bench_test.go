@@ -15,12 +15,15 @@ package repro
 
 import (
 	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"math"
 	"math/rand/v2"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 
 	"repro/internal/apps"
@@ -31,6 +34,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fit"
 	"repro/internal/folding"
+	"repro/internal/rescache"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -222,6 +226,104 @@ func BenchmarkAnalyzeEndToEnd(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkAnalyzeCached prices the content-addressed result cache on
+// the bench-large trace at the rescache boundary the daemon uses:
+//
+//   - cold: empty cache, so GetOrCompute digests the bytes and runs the
+//     full streaming analysis + JSON encode — the miss path.
+//   - warm: the same lookup against a warm cache — digest, key build,
+//     sharded-LRU hit. The ≥100× ns/op and allocs/op gap versus cold is
+//     the headline win the cache exists for.
+//   - coalesced-8: 8 concurrent identical requests against an empty
+//     cache; singleflight runs ONE analysis and the other 7 share it,
+//     so ns/op tracks cold (one run), not 8×cold.
+//
+// Needs BENCH_SCALE=large; simulation and encoding sit outside the
+// timer.
+func BenchmarkAnalyzeCached(b *testing.B) {
+	if !benchScaleLarge() {
+		b.Skip("set BENCH_SCALE=large to exercise the result cache on the bench-large trace")
+	}
+	app, err := apps.ByName(apps.BenchLargeApp, apps.BenchLargeIters)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := apps.DefaultTraceConfig(apps.BenchLargeRanks)
+	cfg.Seed = apps.BenchLargeSeed
+	tr, err := sim.Run(cfg, app)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	opts := core.Options{}
+	opts.Cluster.SilhouetteSample = 256
+	fp := opts.Fingerprint()
+	analyze := func(ctx context.Context) (rescache.Result, error) {
+		rep, err := core.AnalyzeStreamContext(ctx, bytes.NewReader(raw), opts)
+		if err != nil {
+			return rescache.Result{}, err
+		}
+		data, err := json.Marshal(rep)
+		if err != nil {
+			return rescache.Result{}, err
+		}
+		return rescache.Result{Data: append(data, '\n')}, nil
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		b.SetBytes(int64(len(raw)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := rescache.New(rescache.Config{})
+			key := rescache.Key("report", trace.DigestBytes(raw), fp)
+			if _, _, err := c.GetOrCompute(context.Background(), key, analyze); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		c := rescache.New(rescache.Config{})
+		if _, _, err := c.GetOrCompute(context.Background(),
+			rescache.Key("report", trace.DigestBytes(raw), fp), analyze); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(len(raw)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			key := rescache.Key("report", trace.DigestBytes(raw), fp)
+			v, st, err := c.GetOrCompute(context.Background(), key, analyze)
+			if err != nil || st != rescache.Hit || len(v) == 0 {
+				b.Fatalf("expected a warm hit, got status %v err %v", st, err)
+			}
+		}
+	})
+	b.Run("coalesced-8", func(b *testing.B) {
+		b.SetBytes(int64(len(raw)))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c := rescache.New(rescache.Config{})
+			key := rescache.Key("report", trace.DigestBytes(raw), fp)
+			var wg sync.WaitGroup
+			for j := 0; j < 8; j++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					if _, _, err := c.GetOrCompute(context.Background(), key, analyze); err != nil {
+						b.Error(err)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+	})
 }
 
 // BenchmarkAnalyzeSharded runs the batch analysis through the map/reduce

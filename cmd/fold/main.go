@@ -18,12 +18,17 @@
 //	fold -in stencil.uvt [-counter PAPI_TOT_INS] [-bins 100] [-model binned+pchip]
 //	     [-phases 5] [-curves out_dir] [-iterations] [-lenient]
 //	     [-shards 4] [-shard-mode time|rank]
+//	     [-model-out phases.model | -model-in phases.model]
 //	fold -stream [-in stencil.uvt] [-online] [-train 512] [-stages] [-lenient]
 //
 // -shards runs the batch analysis through the sharded map/reduce
 // algebra (split, map each shard to a mergeable partial, reduce); the
 // report is identical for every shard count and mode — the flag exists
 // to exercise and benchmark the distributed decomposition locally.
+//
+// -model-out saves the cluster model trained on this trace so later
+// runs can classify against it with -model-in, skipping training
+// entirely — train once, classify repeatedly.
 //
 // -lenient salvages damaged traces: undecodable records are skipped at
 // the decoder, validation failures are tolerated, and the analysis is
@@ -67,6 +72,8 @@ func main() {
 		lenient    = flag.Bool("lenient", false, "salvage damaged traces: skip undecodable records, tolerate validation failures, and report the degradation instead of aborting")
 		shards     = flag.Int("shards", 1, "analyze through the map/reduce algebra over this many shards (output is identical for any count)")
 		shardMode  = flag.String("shard-mode", "time", "how -shards splits the trace: time (window slices) or rank (rank groups)")
+		modelOut   = flag.String("model-out", "", "write the trained cluster model to this file after analyzing")
+		modelIn    = flag.String("model-in", "", "classify against a previously saved cluster model instead of training one")
 	)
 	flag.Parse()
 
@@ -99,6 +106,9 @@ func main() {
 	shMode, err := core.ParseShardMode(*shardMode)
 	if err != nil {
 		fatal(err)
+	}
+	if (*modelIn != "" || *modelOut != "") && (*stream || *iterations) {
+		fatal(fmt.Errorf("-model-in/-model-out need the batch clustering pipeline and cannot be combined with -stream or -iterations"))
 	}
 
 	var rep *core.Report
@@ -146,7 +156,11 @@ func main() {
 		}
 		// AnalyzeSharded with one shard is exactly Analyze — the algebra
 		// guarantees the report is identical for every shard count.
-		rep, err = core.AnalyzeSharded(tr, *shards, shMode, opts)
+		if *modelIn != "" || *modelOut != "" {
+			rep, err = analyzeWithModel(tr, *shards, shMode, opts, *modelIn, *modelOut)
+		} else {
+			rep, err = core.AnalyzeSharded(tr, *shards, shMode, opts)
+		}
 		if err != nil {
 			fatal(err)
 		}
@@ -238,6 +252,51 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// analyzeWithModel runs the batch analysis through the map/reduce
+// algebra with an explicit cluster model: either classify against a
+// model saved earlier (-model-in, skipping training entirely) or train
+// one from this trace's partials and optionally persist it
+// (-model-out) for later runs — the memoized-intermediate path the
+// service-side result cache exercises.
+func analyzeWithModel(tr *trace.Trace, shards int, mode core.ShardMode, opts core.Options, inPath, outPath string) (*core.Report, error) {
+	shs := core.Split(tr, shards, mode)
+	parts := make([]*core.Partial, len(shs))
+	for i := range shs {
+		p, err := core.MapShard(shs[i], opts)
+		if err != nil {
+			return nil, fmt.Errorf("map shard %d: %w", i, err)
+		}
+		parts[i] = p
+	}
+	var model *cluster.Model
+	if inPath != "" {
+		data, err := os.ReadFile(inPath)
+		if err != nil {
+			return nil, err
+		}
+		model, err = cluster.DecodeModel(data)
+		if err != nil {
+			return nil, fmt.Errorf("decode model %s: %w", inPath, err)
+		}
+	} else {
+		var err error
+		model, err = core.TrainModelFromPartials(parts, opts)
+		if err != nil {
+			return nil, fmt.Errorf("train model: %w", err)
+		}
+	}
+	if outPath != "" {
+		data, err := model.Encode()
+		if err != nil {
+			return nil, fmt.Errorf("encode model: %w", err)
+		}
+		if err := os.WriteFile(outPath, data, 0o644); err != nil {
+			return nil, err
+		}
+	}
+	return core.Reduce(parts, model, opts)
 }
 
 // openInput resolves the streaming input: stdin when path is empty or

@@ -14,6 +14,10 @@
 //	                    trace is read from a local file instead of the
 //	                    body. ?lenient=1 salvages damaged uploads and
 //	                    returns a Degraded report instead of a 400.
+//	                    Results are cached content-addressed (trace
+//	                    digest + analysis options); the Cache-Status
+//	                    response header says hit, miss or coalesced, and
+//	                    ?nocache=1 bypasses the cache for one request.
 //	POST /v1/partial    worker half of a distributed analysis: map one
 //	                    shard (?shard=i&shards=n&mode=time|rank) of the
 //	                    uploaded trace to a mergeable JSON core.Partial.
@@ -36,6 +40,12 @@
 //	foldsvc -addr :8080 &
 //	tracegen -app stencil -o - | curl -sS --data-binary @- \
 //	    'http://localhost:8080/v1/analyze?online=1' | jq .Clustering.K
+//
+// Caching: the daemon keeps a content-addressed result cache
+// (-cache-max-bytes in memory, optionally persisted under -cache-dir so
+// warm results survive restarts). Traces are immutable and the pipeline
+// deterministic, so entries never expire; concurrent identical uploads
+// coalesce onto a single analysis.
 //
 // Robustness: uploads beyond -max-body get 413; more than -jobs
 // concurrent analyses get 429 with Retry-After; every request is
@@ -72,6 +82,8 @@ func main() {
 		stall    = flag.Duration("stall", 0, "fail an analysis whose pipeline makes no progress for this long (408; 0 disables the watchdog)")
 		drain    = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain budget for in-flight requests")
 		pathRoot = flag.String("path-root", "", "directory ?path= trace references resolve under (empty disables local-path analysis)")
+		cacheMax = flag.Int64("cache-max-bytes", 256<<20, "in-memory result-cache budget in bytes (0 disables caching)")
+		cacheDir = flag.String("cache-dir", "", "directory for the persistent result-cache tier (empty = memory only)")
 		logLevel = flag.String("log-level", "info", "log level: debug, info, warn, error")
 		logJSON  = flag.Bool("log-json", false, "log JSON instead of text")
 		workers  = flag.String("workers", "", "comma-separated worker base URLs; non-empty switches /v1/analyze into coordinator mode (fan out shards, reduce locally)")
@@ -93,18 +105,27 @@ func main() {
 		}
 	}
 
+	cacheBytes := *cacheMax
+	if cacheBytes == 0 {
+		// The flag's 0 means "no cache"; the Config field's 0 means "use
+		// the default budget", so translate.
+		cacheBytes = -1
+	}
+
 	logger := obs.NewLogger(os.Stderr, obs.ParseLevel(*logLevel), *logJSON)
 	srv := foldsvc.NewServer(foldsvc.Config{
-		MaxBody:     *maxBody,
-		Jobs:        *jobs,
-		Parallelism: *par,
-		Deadline:    *deadline,
-		Stall:       *stall,
-		PathRoot:    *pathRoot,
-		Logger:      logger,
-		Workers:     workerURLs,
-		Shards:      *shards,
-		ShardMode:   mode,
+		MaxBody:       *maxBody,
+		Jobs:          *jobs,
+		Parallelism:   *par,
+		Deadline:      *deadline,
+		Stall:         *stall,
+		PathRoot:      *pathRoot,
+		CacheMaxBytes: cacheBytes,
+		CacheDir:      *cacheDir,
+		Logger:        logger,
+		Workers:       workerURLs,
+		Shards:        *shards,
+		ShardMode:     mode,
 	})
 
 	hs := &http.Server{

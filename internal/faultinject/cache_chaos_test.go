@@ -1,0 +1,157 @@
+package faultinject_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/faultinject"
+	"repro/internal/foldsvc"
+)
+
+// cachePost uploads body to the daemon and returns status code,
+// Cache-Status header, and response body.
+func cachePost(t *testing.T, base, query string, body []byte) (int, string, []byte) {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/analyze"+query, "application/octet-stream", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, resp.Header.Get("Cache-Status"), data
+}
+
+// TestChaosCacheDecodeModeKeying proves the cache key includes the
+// decode mode: a damaged trace whose lenient decode produced a
+// degraded Report must never have that entry served to a strict
+// request for the same bytes (and vice versa) — a cached degraded 200
+// leaking into a strict request would silently launder salvage
+// concessions.
+func TestChaosCacheDecodeModeKeying(t *testing.T) {
+	enc := encodedTrace(t)
+	header := headerLen(t, enc)
+	srv := httptest.NewServer(foldsvc.NewServer(foldsvc.Config{}))
+	defer srv.Close()
+
+	// Materialize one fixed damaged byte stream so every upload is the
+	// same content (same digest, different decode modes).
+	damaged, err := io.ReadAll(faultinject.BitFlip(bytes.NewReader(enc), 2, 61, header))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Lenient: salvaged, degraded, cached.
+	code, cs, first := cachePost(t, srv.URL, "?lenient=1", damaged)
+	if code != http.StatusOK || cs != "miss" {
+		t.Fatalf("lenient upload: status %d, Cache-Status %q: %s", code, cs, first)
+	}
+	var rep core.Report
+	if err := json.Unmarshal(first, &rep); err != nil {
+		t.Fatalf("lenient report does not decode: %v", err)
+	}
+	checkContract(t, &rep, nil)
+	if !rep.Degraded {
+		t.Fatal("bitflipped trace salvaged without degradation — fault did not bite")
+	}
+
+	// Strict request for the same bytes: the cached degraded entry must
+	// NOT be served; strict decoding of a damaged trace fails.
+	code, cs, body := cachePost(t, srv.URL, "", damaged)
+	if code == http.StatusOK {
+		t.Fatalf("strict request served a 200 (Cache-Status %q) for a damaged trace: %s", cs, body)
+	}
+	if code < 400 || code >= 600 {
+		t.Fatalf("strict request: unexpected status %d", code)
+	}
+
+	// The lenient entry itself is still warm.
+	code, cs, second := cachePost(t, srv.URL, "?lenient=1", damaged)
+	if code != http.StatusOK || cs != "hit" {
+		t.Fatalf("lenient repeat: status %d, Cache-Status %q", code, cs)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("lenient hit differs from the original degraded report")
+	}
+
+	// A clean trace analyzes fine either way, but strict and lenient
+	// still occupy separate keys: the second mode misses even though the
+	// digest matches.
+	if code, cs, _ := cachePost(t, srv.URL, "", enc); code != http.StatusOK || cs != "miss" {
+		t.Fatalf("clean strict: status %d, Cache-Status %q", code, cs)
+	}
+	if code, cs, _ := cachePost(t, srv.URL, "?lenient=1", enc); code != http.StatusOK || cs != "miss" {
+		t.Fatalf("clean lenient: status %d, Cache-Status %q; decode mode must be part of the key", code, cs)
+	}
+}
+
+// TestChaosCacheCancelNoPoison proves a request that dies mid-flight
+// leaves no partial cache entry: after a client abandons an upload
+// (the analysis is cancelled server-side), the next request for the
+// same trace is a clean miss that recomputes and then caches normally.
+func TestChaosCacheCancelNoPoison(t *testing.T) {
+	enc := encodedTrace(t)
+	srv := httptest.NewServer(foldsvc.NewServer(foldsvc.Config{}))
+	defer srv.Close()
+
+	// Abandon an upload halfway: cancel the request context, then abort
+	// the body stream so the client-side transport lets go.
+	pr, pw := io.Pipe()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		req, _ := http.NewRequestWithContext(ctx, http.MethodPost, srv.URL+"/v1/analyze", pr)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	if _, err := pw.Write(enc[:len(enc)/2]); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	pw.CloseWithError(errors.New("client abandoned upload"))
+	select {
+	case <-done:
+	case <-time.After(60 * time.Second):
+		t.Fatal("abandoned upload hung")
+	}
+
+	// The wreckage must not have produced a cache entry: the full
+	// upload is a miss, recomputes, and answers a healthy report.
+	code, cs, first := cachePost(t, srv.URL, "", enc)
+	if code != http.StatusOK {
+		t.Fatalf("recompute after cancel: status %d: %s", code, first)
+	}
+	if cs != "miss" {
+		t.Fatalf("recompute after cancel: Cache-Status %q; a cancelled request must not leave an entry", cs)
+	}
+	var rep core.Report
+	if err := json.Unmarshal(first, &rep); err != nil {
+		t.Fatalf("report does not decode: %v", err)
+	}
+	checkContract(t, &rep, nil)
+	if rep.Degraded {
+		t.Fatal("clean trace reported degraded after a cancelled predecessor")
+	}
+
+	// And the recomputed entry caches normally.
+	code, cs, second := cachePost(t, srv.URL, "", enc)
+	if code != http.StatusOK || cs != "hit" {
+		t.Fatalf("repeat: status %d, Cache-Status %q", code, cs)
+	}
+	if !bytes.Equal(first, second) {
+		t.Fatal("hit differs from the recomputed report")
+	}
+}

@@ -1,0 +1,219 @@
+package foldsvc
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pipeline"
+	"repro/internal/rescache"
+	"repro/internal/trace"
+)
+
+// This file is the glue between the HTTP handlers and the
+// content-addressed result cache (internal/rescache): request bodies
+// are hashed while they are read (never buffered twice), the digest
+// plus the canonical options fingerprint (core.Options.Fingerprint)
+// form the cache key, and concurrent identical requests coalesce onto
+// one pipeline run. Every cached response carries a
+// Cache-Status: hit|miss|coalesced header; ?nocache=1 takes the exact
+// pre-cache streaming path.
+
+// nocacheRequested reports whether the request opted out of the result
+// cache with ?nocache=. Bypassed requests never read or write the
+// cache and stream through the original analysis path.
+func nocacheRequested(r *http.Request) bool {
+	v := r.URL.Query().Get("nocache")
+	if v == "" {
+		return false
+	}
+	on, err := strconv.ParseBool(v)
+	return err == nil && on
+}
+
+// spoolBody reads the request body to EOF into memory, hashing it on
+// the way — the one buffering pass a cached upload needs (the digest
+// comes for free from the same bytes). The copy runs in a pump
+// goroutine so the handler keeps observing its context (a client that
+// disconnects mid-upload is noticed immediately, preserving the
+// cancellation metrics contract) and the Config.Stall watchdog (an
+// upload that goes quiet without disconnecting still times out to 408,
+// which the pipeline watchdog cannot cover here because it only starts
+// after the spool completes).
+//
+// On the context and stall paths the returned buffer is nil and MUST
+// NOT be reconstructed from closure state: the pump still owns it and
+// only lets go when the server closes the request body. On the
+// read-error path the pump has exited, so the partial buffer and its
+// digest are returned alongside the error for lenient-mode salvage.
+func (s *Server) spoolBody(ctx context.Context, body io.Reader) (*bytes.Buffer, string, error) {
+	dr := trace.NewDigestReader(body)
+	buf := &bytes.Buffer{}
+	done := make(chan error, 1)
+	go func() {
+		_, err := io.Copy(buf, dr)
+		done <- err
+	}()
+
+	var stallC <-chan time.Time
+	if s.cfg.Stall > 0 {
+		t := time.NewTicker(s.cfg.Stall)
+		defer t.Stop()
+		stallC = t.C
+	}
+	var lastN int64
+	for {
+		select {
+		case err := <-done:
+			return buf, dr.Sum(), err
+		case <-ctx.Done():
+			return nil, "", ctx.Err()
+		case <-stallC:
+			n := dr.BytesRead()
+			if n == lastN {
+				return nil, "", fmt.Errorf("upload made no progress for %v: %w",
+					s.cfg.Stall, pipeline.ErrStalled)
+			}
+			lastN = n
+		}
+	}
+}
+
+// analyzeCached is the cache-enabled tail of handleAnalyze: digest the
+// trace, look the (digest, options fingerprint) key up, and only run
+// the pipeline on a miss — with concurrent identical requests
+// coalesced onto that one run. The cached value is the exact JSON body
+// the streaming path would have written, so hits and misses are
+// byte-identical.
+func (s *Server) analyzeCached(w http.ResponseWriter, r *http.Request, ctx context.Context, opts core.Options, body *limitTrackingReader, input io.Reader, src string) {
+	var (
+		spooled    []byte
+		fromUpload = src == "upload"
+		digest     string
+	)
+	if fromUpload {
+		buf, sum, err := s.spoolBody(ctx, body)
+		if err != nil {
+			switch {
+			case body.limit != nil:
+				s.analyzeError(w, r, src, body.limit)
+				return
+			case ctx.Err() != nil:
+				s.analyzeError(w, r, src, ctx.Err())
+				return
+			case opts.Lenient && buf != nil && buf.Len() > 0:
+				// The transport failed mid-upload but salvage decoding is
+				// on: analyze the prefix that did arrive. The digest covers
+				// exactly those bytes, so content-addressing stays sound.
+			default:
+				s.analyzeError(w, r, src, err)
+				return
+			}
+		}
+		spooled, digest = buf.Bytes(), sum
+	} else {
+		// ?path= files arrive as seekable readers: hash in place and
+		// rewind instead of spooling, keeping memory bounded.
+		rs, ok := input.(io.ReadSeeker)
+		if !ok {
+			s.analyzeError(w, r, src, fmt.Errorf("local trace %s is not seekable", src))
+			return
+		}
+		dr := trace.NewDigestReader(rs)
+		if _, err := io.Copy(io.Discard, dr); err != nil {
+			s.analyzeError(w, r, src, err)
+			return
+		}
+		if _, err := rs.Seek(0, io.SeekStart); err != nil {
+			s.analyzeError(w, r, src, err)
+			return
+		}
+		digest = dr.Sum()
+	}
+
+	key := rescache.Key("report", digest, opts.Fingerprint())
+	data, status, err := s.cache.GetOrCompute(ctx, key, func(cctx context.Context) (rescache.Result, error) {
+		rd := input
+		if fromUpload {
+			rd = bytes.NewReader(spooled)
+		}
+		start := time.Now()
+		rep, aerr := core.AnalyzeStreamContext(cctx, rd, opts)
+		if aerr != nil {
+			return rescache.Result{}, aerr
+		}
+		s.recordReport(rep)
+		s.cfg.Logger.Info("analysis done", "source", src, "app", rep.App,
+			"ranks", rep.Ranks, "bursts", rep.Bursts, "phases", len(rep.Phases),
+			"online", rep.Online, "wall", time.Since(start))
+		out, merr := json.Marshal(rep)
+		if merr != nil {
+			return rescache.Result{}, fmt.Errorf("encode report: %w", merr)
+		}
+		return rescache.Result{Data: append(out, '\n')}, nil
+	})
+	if err != nil {
+		s.analyzeError(w, r, src, err)
+		return
+	}
+	w.Header().Set("Cache-Status", status.String())
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(data); err != nil {
+		s.cfg.Logger.Debug("response write failed", "err", err)
+	}
+}
+
+// partialCached is the cache-enabled tail of handlePartial, used when
+// the coordinator declared the shard's content digest up front
+// (?digest=). A hit answers without reading the upload at all — after
+// a worker died mid-fan-out, the re-upload only recomputes the lost
+// shard. On a miss the shard streams through the map pipeline while
+// being hashed; if the received bytes do not match the declared
+// digest, the partial is served but never stored (a mislabeled upload
+// must not poison the key).
+func (s *Server) partialCached(w http.ResponseWriter, r *http.Request, ctx context.Context, opts core.Options, spec core.ShardSpec, body *limitTrackingReader, declared string) {
+	key := rescache.Key("partial", declared,
+		spec.Mode.String(), strconv.Itoa(spec.Count), strconv.Itoa(spec.Index),
+		strconv.FormatBool(spec.Resume), opts.Fingerprint())
+	data, status, err := s.cache.GetOrCompute(ctx, key, func(cctx context.Context) (rescache.Result, error) {
+		dr := trace.NewDigestReader(body)
+		start := time.Now()
+		p, merr := core.MapShardStreamContext(cctx, dr, spec, opts)
+		if merr != nil {
+			return rescache.Result{}, merr
+		}
+		// The decoder's readahead may stop short of EOF; the digest must
+		// cover every uploaded byte before it is compared.
+		if _, derr := io.Copy(io.Discard, dr); derr != nil {
+			return rescache.Result{}, derr
+		}
+		s.reg.Counter("foldsvc_partials_total",
+			"Shard map requests that ran to completion.").Inc()
+		s.cfg.Logger.Info("partial done", "app", p.Meta.App, "shard", spec.Index,
+			"shards", spec.Count, "bursts", p.Bursts, "kept", len(p.Kept),
+			"wall", time.Since(start))
+		out, jerr := json.Marshal(p)
+		if jerr != nil {
+			return rescache.Result{}, fmt.Errorf("encode partial: %w", jerr)
+		}
+		return rescache.Result{Data: append(out, '\n'), NoStore: dr.Sum() != declared}, nil
+	})
+	if err != nil {
+		if body.limit != nil {
+			err = body.limit
+		}
+		s.analyzeError(w, r, "partial-upload", err)
+		return
+	}
+	w.Header().Set("Cache-Status", status.String())
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(data); err != nil {
+		s.cfg.Logger.Debug("response write failed", "err", err)
+	}
+}

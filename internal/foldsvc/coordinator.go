@@ -3,9 +3,8 @@ package foldsvc
 import (
 	"bytes"
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -18,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/rescache"
 	"repro/internal/trace"
 )
 
@@ -237,6 +237,14 @@ func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
 	}
 	body := &limitTrackingReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBody)}
 
+	// When the coordinator declared the shard's content digest, the
+	// result is cacheable; a hit answers without reading the upload.
+	// Requests without ?digest= (or with ?nocache=) bypass the cache.
+	if declared := r.URL.Query().Get("digest"); s.cache != nil && declared != "" && !nocacheRequested(r) {
+		s.partialCached(w, r, ctx, opts, spec, body, declared)
+		return
+	}
+
 	start := time.Now()
 	p, err := core.MapShardStreamContext(ctx, body, spec, opts)
 	if err != nil {
@@ -312,15 +320,93 @@ func (s *Server) handleCoordinate(w http.ResponseWriter, r *http.Request) {
 		s.analyzeError(w, r, "coordinate-upload", err)
 		return
 	}
-	digest := sha256.Sum256(enc)
-	key := hex.EncodeToString(digest[:8])
+	// Full sha256, shared with rescache keys and disk-tier names — ring
+	// routing derives its per-shard keys from the same digest instead of
+	// an ad-hoc truncated hash.
+	digest := trace.DigestBytes(enc)
 
+	if s.cache != nil && !nocacheRequested(r) {
+		// Same key shape as the single-node server: sharded reduction is
+		// bit-identical to a single-pass analysis for any shard count
+		// (locked by TestShardedEquivalence), so the paths may share
+		// entries.
+		key := rescache.Key("report", digest, opts.Fingerprint())
+		data, status, err := s.cache.GetOrCompute(ctx, key, func(cctx context.Context) (rescache.Result, error) {
+			data, lost, rerr := s.runCoordinated(cctx, r.URL.Query(), digest, enc, opts)
+			if rerr != nil {
+				return rescache.Result{}, rerr
+			}
+			// A report that lost a shard is a nondeterministic degradation
+			// of the trace, not a function of the key: serve it, never
+			// store it.
+			return rescache.Result{Data: data, NoStore: lost}, nil
+		})
+		if err != nil {
+			s.writeCoordError(w, r, err)
+			return
+		}
+		w.Header().Set("Cache-Status", status.String())
+		w.Header().Set("Content-Type", "application/json")
+		if _, err := w.Write(data); err != nil {
+			s.cfg.Logger.Debug("response write failed", "err", err)
+		}
+		return
+	}
+
+	data, _, err := s.runCoordinated(ctx, r.URL.Query(), digest, enc, opts)
+	if err != nil {
+		s.writeCoordError(w, r, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if _, err := w.Write(data); err != nil {
+		s.cfg.Logger.Debug("response write failed", "err", err)
+	}
+}
+
+// statusError is an analysis failure that already knows its HTTP
+// mapping, so coordinated errors keep their status codes (and rejection
+// reasons) when they travel through the cache's singleflight layer.
+type statusError struct {
+	code   int
+	reason string // non-empty: count under foldsvc_rejected_total{reason}
+	msg    string
+}
+
+// Error implements error.
+func (e *statusError) Error() string { return e.msg }
+
+// writeCoordError maps a runCoordinated failure onto the response:
+// statusError carries its own code, anything else goes through the
+// shared analyzeError mapping.
+func (s *Server) writeCoordError(w http.ResponseWriter, r *http.Request, err error) {
+	var se *statusError
+	if errors.As(err, &se) {
+		if se.reason != "" {
+			s.reject(w, se.reason, se.msg, se.code)
+		} else {
+			http.Error(w, se.msg, se.code)
+		}
+		return
+	}
+	s.analyzeError(w, r, "coordinate", err)
+}
+
+// runCoordinated is the body of a coordinated analysis: decode and
+// split the trace locally, fan the shards out to the worker ring,
+// reduce the partials, and marshal the Report. It reports whether any
+// shard was lost (the result then must not be cached) and returns
+// failures as errors — statusError where the plain analyzeError
+// mapping would be wrong — so the cached and uncached paths share one
+// implementation.
+func (s *Server) runCoordinated(ctx context.Context, base url.Values, traceDigest string, enc []byte, opts core.Options) ([]byte, bool, error) {
 	// Decode locally: the splitter needs the whole trace. Salvage stats
 	// from a lenient decode are the coordinator's, not the workers' (the
 	// shards it re-encodes for them are clean by construction).
 	var (
-		tr *trace.Trace
-		st trace.DecodeStats
+		tr  *trace.Trace
+		st  trace.DecodeStats
+		err error
 	)
 	if opts.Lenient {
 		tr, st, err = trace.ReadFromLenient(bytes.NewReader(enc))
@@ -328,14 +414,12 @@ func (s *Server) handleCoordinate(w http.ResponseWriter, r *http.Request) {
 		tr, err = trace.ReadFrom(bytes.NewReader(enc))
 	}
 	if err != nil {
-		s.analyzeError(w, r, "coordinate-upload", err)
-		return
+		return nil, false, err
 	}
 	var valWarn string
 	if err := tr.Validate(); err != nil {
 		if !opts.Lenient {
-			http.Error(w, err.Error(), http.StatusBadRequest)
-			return
+			return nil, false, &statusError{code: http.StatusBadRequest, msg: err.Error()}
 		}
 		valWarn = fmt.Sprintf("trace failed validation (%v); analyzing anyway", err)
 	}
@@ -351,7 +435,7 @@ func (s *Server) handleCoordinate(w http.ResponseWriter, r *http.Request) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			parts[i], shardWarns[i] = co.mapShard(ctx, r.URL.Query(), key, &shards[i])
+			parts[i], shardWarns[i] = co.mapShard(ctx, base, traceDigest, &shards[i])
 		}(i)
 	}
 	wg.Wait()
@@ -364,18 +448,18 @@ func (s *Server) handleCoordinate(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if alive == 0 {
-		s.reject(w, "all_shards_failed",
-			"every worker shard failed; no partial analysis to reduce",
-			http.StatusBadGateway)
-		return
+		return nil, false, &statusError{
+			code:   http.StatusBadGateway,
+			reason: "all_shards_failed",
+			msg:    "every worker shard failed; no partial analysis to reduce",
+		}
 	}
 
 	redStart := time.Now()
 	rep, err := core.Reduce(parts, nil, opts)
 	co.reduceSecs.Observe(time.Since(redStart).Seconds())
 	if err != nil {
-		s.analyzeError(w, r, "coordinate-reduce", err)
-		return
+		return nil, false, err
 	}
 	for _, warn := range shardWarns {
 		if warn != "" {
@@ -395,16 +479,19 @@ func (s *Server) handleCoordinate(w http.ResponseWriter, r *http.Request) {
 		"ranks", rep.Ranks, "shards", len(shards), "failed", len(shards)-alive,
 		"bursts", rep.Bursts, "phases", len(rep.Phases), "wall", time.Since(fanStart))
 
-	w.Header().Set("Content-Type", "application/json")
-	if err := json.NewEncoder(w).Encode(rep); err != nil {
-		s.cfg.Logger.Debug("response write failed", "err", err)
+	data, err := json.Marshal(rep)
+	if err != nil {
+		return nil, false, fmt.Errorf("encode report: %w", err)
 	}
+	return append(data, '\n'), alive < len(shards), nil
 }
 
 // mapShard sends one shard to its ring-assigned worker (with one
 // failover to the next distinct backend) and returns the partial, or
-// "" != warning describing how the shard was lost.
-func (co *coordinator) mapShard(ctx context.Context, base url.Values, key string, sh *core.Shard) (*core.Partial, string) {
+// "" != warning describing how the shard was lost. The shard's own
+// content digest is declared in the request (?digest=) so the worker
+// can serve its cached Partial without re-reading the upload.
+func (co *coordinator) mapShard(ctx context.Context, base url.Values, traceDigest string, sh *core.Shard) (*core.Partial, string) {
 	var buf bytes.Buffer
 	if err := sh.Trace.Write(&buf); err != nil {
 		co.shardFailed.Inc()
@@ -422,8 +509,9 @@ func (co *coordinator) mapShard(ctx context.Context, base url.Values, key string
 	q.Set("shards", strconv.Itoa(sh.Spec.Count))
 	q.Set("mode", sh.Spec.Mode.String())
 	q.Set("resume", map[bool]string{false: "0", true: "1"}[sh.Spec.Resume])
+	q.Set("digest", trace.DigestBytes(buf.Bytes()))
 
-	ringKey := key + ":" + strconv.Itoa(sh.Spec.Index)
+	ringKey := traceDigest + ":" + strconv.Itoa(sh.Spec.Index)
 	primary := co.ring.pick(ringKey)
 	if primary < 0 || co.clients[primary] == nil {
 		co.shardFailed.Inc()

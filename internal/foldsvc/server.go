@@ -35,6 +35,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/pipeline"
+	"repro/internal/rescache"
 	"repro/internal/trace"
 )
 
@@ -58,6 +59,15 @@ type Config struct {
 	// PathRoot, when non-empty, enables ?path= requests for trace files
 	// under this directory; "" disables local-path analysis entirely.
 	PathRoot string
+	// CacheMaxBytes sizes the in-memory result cache: 0 selects the
+	// 256 MiB default (the cache is on by default — traces are immutable
+	// and the pipeline deterministic, so cached entries never go stale);
+	// negative disables caching entirely.
+	CacheMaxBytes int64
+	// CacheDir, when non-empty, adds a persistent cache tier under this
+	// directory (atomic-rename writes, digest-named files) so warm
+	// results survive daemon restarts.
+	CacheDir string
 	// Logger receives the daemon's structured log stream.
 	Logger *slog.Logger
 
@@ -93,7 +103,8 @@ type Server struct {
 	cancelled *obs.Counter
 	panics    *obs.Counter
 
-	coord *coordinator // nil unless Config.Workers is set
+	cache *rescache.Cache // nil when Config.CacheMaxBytes < 0
+	coord *coordinator    // nil unless Config.Workers is set
 }
 
 // NewServer wires the daemon's routes and metric families.
@@ -113,6 +124,19 @@ func NewServer(cfg Config) *Server {
 		mux:   http.NewServeMux(),
 		sem:   make(chan struct{}, cfg.Jobs),
 		start: time.Now(),
+	}
+
+	if cfg.CacheMaxBytes >= 0 {
+		max := cfg.CacheMaxBytes
+		if max == 0 {
+			max = 256 << 20
+		}
+		s.cache = rescache.New(rescache.Config{
+			MaxBytes:  max,
+			Dir:       cfg.CacheDir,
+			Registry:  s.reg,
+			Namespace: "foldsvc",
+		})
 	}
 
 	s.inflight = s.reg.Gauge("foldsvc_inflight_jobs",
@@ -279,6 +303,11 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		src = p
 	} else if r.Method == http.MethodGet {
 		http.Error(w, "GET requires ?path=; upload traces with POST", http.StatusBadRequest)
+		return
+	}
+
+	if s.cache != nil && !nocacheRequested(r) {
+		s.analyzeCached(w, r, ctx, opts, body, input, src)
 		return
 	}
 
