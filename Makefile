@@ -28,6 +28,12 @@
 #                   coordinator fanning shards out to 3 in-process workers
 #                   must reproduce the local single-pass Report and
 #                   survive worker loss (degraded report, not a 500)
+#   make e2e-diff — cross-run diff end-to-end over HTTP: /v1/diff by
+#                   upload, by cached digest reference (zero re-analysis)
+#                   and with a degraded side, under the race detector
+#   make bench-diff — run just BenchmarkDiff (needs BENCH_SCALE=large)
+#                   and fold it into today's BENCH snapshot via
+#                   benchjson -merge
 
 GO        ?= go
 DATE      := $(shell date +%Y-%m-%d)
@@ -40,7 +46,7 @@ FUZZTIME  ?= 10s
 # clustering of a ~100k-burst trace (tracegen -preset bench-large).
 BENCH_SCALE ?=
 
-.PHONY: build test check chaos bench benchmem e2e-dist
+.PHONY: build test check chaos bench benchmem e2e-dist e2e-diff bench-diff
 
 build:
 	$(GO) build ./...
@@ -71,6 +77,13 @@ bench:
 
 e2e-dist:
 	$(GO) test -race -count 1 -run 'TestE2EDist|TestDist' ./internal/foldsvc/
+
+e2e-diff:
+	$(GO) test -race -count 1 -run 'TestDiff' ./internal/foldsvc/ ./internal/diff/
+
+bench-diff:
+	BENCH_SCALE=large $(GO) test -run '^$$' -bench BenchmarkDiff -benchmem -benchtime $(BENCHTIME) -timeout 60m . \
+		| BENCH_SCALE=large $(GO) run ./cmd/benchjson -merge -out BENCH_$(DATE).json
 
 benchmem:
 	$(GO) test -run '^$$' -bench StreamVsBatchMemory -benchmem -benchtime 3x -timeout 30m . \

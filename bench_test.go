@@ -31,6 +31,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/counters"
+	"repro/internal/diff"
 	"repro/internal/experiments"
 	"repro/internal/fit"
 	"repro/internal/folding"
@@ -715,5 +716,54 @@ func BenchmarkClusterTraceLarge(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		cluster.ClusterBursts(kept, ccfg)
+	}
+}
+
+// BenchmarkDiff prices the cross-run differential analysis
+// (internal/diff) on the bench-large preset: the baseline run against a
+// perturbed re-run (20% slowdown injected into every sweep iteration),
+// both analyzed outside the timer. What is measured is exactly the
+// diff-specific work — raw-space centroid matching, resampling both
+// runs' folded curves onto the common grid, divergence localization and
+// the significance guard — i.e. the marginal cost of a /v1/diff answer
+// once both sides are cache hits. Needs BENCH_SCALE=large.
+func BenchmarkDiff(b *testing.B) {
+	if !benchScaleLarge() {
+		b.Skip("set BENCH_SCALE=large to diff two bench-large analyses")
+	}
+	analyzeRun := func(seed uint64, perturb sim.PerturbConfig) *core.Report {
+		app, err := apps.ByName(apps.BenchLargeApp, apps.BenchLargeIters)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg := apps.DefaultTraceConfig(apps.BenchLargeRanks)
+		cfg.Seed = seed
+		cfg.Perturb = perturb
+		tr, err := sim.Run(cfg, app)
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := core.Options{}
+		opts.Cluster.SilhouetteSample = 256
+		rep, err := core.Analyze(tr, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return rep
+	}
+	repA := analyzeRun(apps.BenchLargeSeed, sim.PerturbConfig{})
+	repB := analyzeRun(apps.BenchLargeSeed+1, sim.PerturbConfig{
+		Factor: 1.2, Fraction: 1, Kernel: "jacobi_sweep", At: 0.6, Seed: 7,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := diff.Compare(repA, repB, diff.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(d.Matched) == 0 {
+			b.Fatal("diff matched no phases")
+		}
 	}
 }

@@ -32,6 +32,12 @@ func main() {
 		fine    = flag.Bool("fine", false, "use the fine-grain reference configuration (50 µs)")
 		out     = flag.String("o", "", "output trace file (default <app>.uvt)")
 		prv     = flag.Bool("prv", false, "also write <out>.prv and <out>.pcf (Paraver-style text)")
+
+		perturb       = flag.Float64("perturb", 0, "slow selected iterations' kernel instances by this factor (0 disables; e.g. 1.5 = 50% slower)")
+		perturbFrac   = flag.Float64("perturb-frac", 0.5, "fraction of iterations perturbed (selection is seeded, not a prefix)")
+		perturbKernel = flag.String("perturb-kernel", "", "restrict perturbation to one kernel name (empty = all kernels)")
+		perturbAt     = flag.Float64("perturb-at", 0.6, "normalized position inside the instance where the stall is inserted")
+		perturbSeed   = flag.Uint64("perturb-seed", 1, "iteration-selection seed (independent of -seed)")
 	)
 	flag.Parse()
 
@@ -58,6 +64,15 @@ func main() {
 		cfg.Sampling.Period = trace.Time(*period * 1e6)
 	}
 	cfg.Seed = *seed
+	if *perturb != 0 {
+		cfg.Perturb = sim.PerturbConfig{
+			Factor:   *perturb,
+			Fraction: *perturbFrac,
+			Kernel:   *perturbKernel,
+			At:       *perturbAt,
+			Seed:     *perturbSeed,
+		}
+	}
 
 	tr, err := sim.Run(cfg, app)
 	if err != nil {

@@ -185,6 +185,30 @@ func dist3(a, b [3]float64) float64 {
 	return s
 }
 
+// CentroidDist2 returns the squared raw-feature-space distance between
+// two centroid means.
+func CentroidDist2(a, b Centroid) float64 { return dist3(a.Mean, b.Mean) }
+
+// MatchCentroid finds the nearest centroid in pool whose capture radius
+// (or c's own) contains c's mean — the similarity rule Merge uses to
+// decide that two independently trained clusters are the same phase.
+// Entries for which skip returns true are ignored (nil skips nothing).
+// It returns the pool index and squared distance, or (-1, +Inf) when no
+// centroid captures c.
+func MatchCentroid(c Centroid, pool []Centroid, skip func(int) bool) (int, float64) {
+	best, bestD2 := -1, math.Inf(1)
+	for i := range pool {
+		if skip != nil && skip(i) {
+			continue
+		}
+		d2 := dist3(c.Mean, pool[i].Mean)
+		if d2 <= math.Max(c.Radius2, pool[i].Radius2) && d2 < bestD2 {
+			best, bestD2 = i, d2
+		}
+	}
+	return best, bestD2
+}
+
 // Classify maps a burst to a cluster id: a burst the model was trained
 // on (same (Start, Rank) identity, or failing that the same raw feature
 // vector) returns its training label exactly; otherwise the nearest
@@ -309,13 +333,7 @@ func Merge(models []*Model, cfg Config) (*Model, error) {
 	}
 	for _, m := range models[1:] {
 		for _, c := range m.Centroids {
-			bi, bestD2 := -1, math.Inf(1)
-			for i := range merged.Centroids {
-				d2 := dist3(c.Mean, merged.Centroids[i].Mean)
-				if d2 <= math.Max(c.Radius2, merged.Centroids[i].Radius2) && d2 < bestD2 {
-					bi, bestD2 = i, d2
-				}
-			}
+			bi, _ := MatchCentroid(c, merged.Centroids, nil)
 			if bi < 0 {
 				nextID++
 				nc := c

@@ -188,6 +188,12 @@ type Phase struct {
 	MeanDuration float64
 	// MeanIPC is the mean instructions-per-cycle over instances.
 	MeanIPC float64
+	// MeanInstructions is the mean instruction total per instance,
+	// aggregated from the burst counters. Unlike the folded views it
+	// survives phases too short to fold, which makes it the robust
+	// second axis when rebuilding the phase's raw-feature centroid for
+	// cross-run matching (internal/diff).
+	MeanInstructions float64
 	// Folds maps each requested counter to its folded reconstruction;
 	// counters that could not be folded are listed in FoldErrors instead.
 	Folds map[counters.Counter]*folding.Result
@@ -464,7 +470,7 @@ func analyzePhase(meta *trace.Metadata, kept []burst.Burst, instances []folding.
 // differ only in where the folded views come from.
 func aggregatePhase(ph *Phase, meta *trace.Metadata, kept []burst.Burst, cid int) {
 	oracleCount := map[int64]int{}
-	var ipcSum float64
+	var ipcSum, insSum float64
 	rankSum := parallel.GetFloat64(meta.Ranks)
 	defer parallel.PutFloat64(rankSum)
 	rankN := make([]int, meta.Ranks)
@@ -476,6 +482,7 @@ func aggregatePhase(ph *Phase, meta *trace.Metadata, kept []burst.Burst, cid int
 		d := kept[i].Duration()
 		ph.TotalTime += d
 		ipcSum += kept[i].IPC()
+		insSum += float64(kept[i].Instructions())
 		rankSum[kept[i].Rank] += float64(d)
 		rankN[kept[i].Rank]++
 		if kept[i].OracleID != 0 {
@@ -485,6 +492,7 @@ func aggregatePhase(ph *Phase, meta *trace.Metadata, kept []burst.Burst, cid int
 	if ph.Instances > 0 {
 		ph.MeanDuration = float64(ph.TotalTime) / float64(ph.Instances)
 		ph.MeanIPC = ipcSum / float64(ph.Instances)
+		ph.MeanInstructions = insSum / float64(ph.Instances)
 	}
 	ph.RankMeanDuration = make([]float64, meta.Ranks)
 	var rankMeanSum float64

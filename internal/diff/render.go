@@ -1,0 +1,138 @@
+package diff
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/report"
+)
+
+// Format renders the differential report for terminals: the run
+// identities, one row per matched phase pair, a divergence table for
+// every significant counter (with an ASCII plot of the shape-delta
+// curve), and the unmatched-phase listings.
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cross-run diff: %s (%d ranks) vs %s (%d ranks)\n",
+		r.AppA, r.RanksA, r.AppB, r.RanksB)
+	switch {
+	case r.DegradedA && r.DegradedB:
+		b.WriteString("DEGRADED: both runs carry analysis concessions\n")
+	case r.DegradedA:
+		b.WriteString("DEGRADED: run A carries analysis concessions\n")
+	case r.DegradedB:
+		b.WriteString("DEGRADED: run B carries analysis concessions\n")
+	}
+	for _, w := range r.Warnings {
+		fmt.Fprintf(&b, "warning: %s\n", w)
+	}
+	b.WriteByte('\n')
+
+	tbl := report.Table{
+		Title:  "Matched phases",
+		Header: []string{"phase A", "phase B", "match", "dur A", "dur B", "ratio", "inst Δ", "IPC Δ", "verdict"},
+	}
+	for i := range r.Matched {
+		p := &r.Matched[i]
+		match := fmt.Sprintf("d=%.2f", p.Distance)
+		if p.Fallback {
+			match = "rank"
+		}
+		verdict := "~unchanged"
+		if p.Significant() {
+			verdict = "DIVERGED"
+		}
+		if p.Degraded {
+			verdict += " (degraded)"
+		}
+		tbl.AddRow(
+			fmt.Sprintf("#%d", p.A.ClusterID),
+			fmt.Sprintf("#%d", p.B.ClusterID),
+			match,
+			formatNs(p.A.MeanDuration),
+			formatNs(p.B.MeanDuration),
+			fmt.Sprintf("%.3f", p.MeanDurationRatio),
+			fmt.Sprintf("%+d", p.InstanceDelta),
+			fmt.Sprintf("%+.2f", p.MeanIPCDelta),
+			verdict,
+		)
+	}
+	if len(r.Matched) == 0 {
+		b.WriteString("no phases matched across the runs\n")
+	} else {
+		b.WriteString(tbl.Format())
+	}
+	b.WriteByte('\n')
+
+	for i := range r.Matched {
+		p := &r.Matched[i]
+		if !p.Significant() {
+			continue
+		}
+		fmt.Fprintf(&b, "Phase #%d → #%d divergence\n", p.A.ClusterID, p.B.ClusterID)
+		ct := report.Table{
+			Header: []string{"counter", "rate ratio", "max |Δshape|", "at", "window", "mean |Δ|", "noise", "significant"},
+		}
+		for j := range p.Counters {
+			cd := &p.Counters[j]
+			noise := "n/a"
+			if cd.Noise >= 0 {
+				noise = report.FormatFloat(cd.Noise)
+			}
+			ct.AddRow(
+				cd.Counter.String(),
+				fmt.Sprintf("%.3f", cd.RateRatio),
+				fmt.Sprintf("%.3f", cd.MaxShapeDelta),
+				fmt.Sprintf("%.2f", cd.ArgMax),
+				fmt.Sprintf("[%.2f, %.2f]", cd.Window[0], cd.Window[1]),
+				fmt.Sprintf("%.3f", cd.MeanAbsDelta),
+				noise,
+				fmt.Sprintf("%v", cd.Significant),
+			)
+		}
+		b.WriteString(ct.Format())
+		for j := range p.Counters {
+			cd := &p.Counters[j]
+			if !cd.Significant {
+				continue
+			}
+			b.WriteString(report.ASCIIPlot(
+				fmt.Sprintf("%s shape delta (B − A, fraction of phase total)", cd.Counter),
+				cd.Grid, cd.ShapeDelta, 72, 12))
+		}
+		b.WriteByte('\n')
+	}
+
+	writeUnmatched := func(side string, phases []PhaseSummary) {
+		if len(phases) == 0 {
+			return
+		}
+		fmt.Fprintf(&b, "Phases only in run %s:\n", side)
+		for _, ph := range phases {
+			fmt.Fprintf(&b, "  #%d: %d instances, mean %s, IPC %.2f\n",
+				ph.ClusterID, ph.Instances, formatNs(ph.MeanDuration), ph.MeanIPC)
+		}
+		b.WriteByte('\n')
+	}
+	writeUnmatched("A (vanished in B)", r.UnmatchedA)
+	writeUnmatched("B (new behavior)", r.UnmatchedB)
+
+	if !r.Significant() && len(r.UnmatchedA) == 0 && len(r.UnmatchedB) == 0 && len(r.Matched) > 0 {
+		b.WriteString("No divergence beyond run-to-run noise.\n")
+	}
+	return b.String()
+}
+
+// formatNs renders a duration in the most readable unit.
+func formatNs(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}

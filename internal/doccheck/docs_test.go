@@ -1,0 +1,118 @@
+package doccheck
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// This file extends the documentation gate from doc comments to the
+// user-facing docs themselves: every command under cmd/ must have a
+// section in docs/CLI.md, and every HTTP route and metric family the
+// foldsvc daemon registers must appear in docs/OPERATIONS.md. The
+// checks read the sources, so adding a binary, route, or metric
+// without documenting it fails `make check` with the missing name.
+
+// readDoc loads one file under docs/ (or the repo root).
+func readDoc(t *testing.T, rel string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", rel))
+	if err != nil {
+		t.Fatalf("read %s: %v", rel, err)
+	}
+	return string(data)
+}
+
+// foldsvcSources concatenates the non-test sources of internal/foldsvc.
+func foldsvcSources(t *testing.T) string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join("..", "foldsvc", "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, f := range files {
+		if strings.HasSuffix(f, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Write(data)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestEveryCommandIsDocumented fails when a cmd/ binary has no
+// "## <name>" section in docs/CLI.md.
+func TestEveryCommandIsDocumented(t *testing.T) {
+	entries, err := os.ReadDir(filepath.Join("..", "..", "cmd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := readDoc(t, "docs/CLI.md")
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		heading := regexp.MustCompile(`(?m)^## ` + regexp.QuoteMeta(name) + `\b`)
+		if !heading.MatchString(cli) {
+			t.Errorf("cmd/%s has no `## %s` section in docs/CLI.md", name, name)
+		}
+	}
+}
+
+// TestServiceRoutesAreDocumented fails when a route registered on the
+// foldsvc mux is absent from docs/OPERATIONS.md.
+func TestServiceRoutesAreDocumented(t *testing.T) {
+	src := foldsvcSources(t)
+	ops := readDoc(t, "docs/OPERATIONS.md")
+	re := regexp.MustCompile(`mux\.Handle\(\s*"([^"]+)"`)
+	seen := map[string]bool{}
+	for _, m := range re.FindAllStringSubmatch(src, -1) {
+		route := m[1]
+		if seen[route] {
+			continue
+		}
+		seen[route] = true
+		if !strings.Contains(ops, "`"+route+"`") {
+			t.Errorf("foldsvc route %s is not documented in docs/OPERATIONS.md", route)
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("found no mux.Handle registrations in internal/foldsvc — check the scan")
+	}
+}
+
+// TestServiceMetricsAreDocumented fails when a metric family
+// registered by the foldsvc package (string-literal names passed to
+// the obs registry constructors) is missing from the
+// docs/OPERATIONS.md catalog.
+func TestServiceMetricsAreDocumented(t *testing.T) {
+	src := foldsvcSources(t)
+	ops := readDoc(t, "docs/OPERATIONS.md")
+	re := regexp.MustCompile(`\.(Counter|Gauge|GaugeFunc|Histogram)\(\s*"([a-z][a-z0-9_]+)"`)
+	seen := map[string]bool{}
+	for _, m := range re.FindAllStringSubmatch(src, -1) {
+		seen[m[2]] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("found only %d metric registrations in internal/foldsvc — check the scan", len(seen))
+	}
+	names := make([]string, 0, len(seen))
+	for name := range seen {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if !strings.Contains(ops, "`"+name+"`") {
+			t.Errorf("foldsvc metric family %s is not documented in docs/OPERATIONS.md", name)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"mime/multipart"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -19,6 +20,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/core"
+	"repro/internal/diff"
 	"repro/internal/faultinject"
 	"repro/internal/foldsvc"
 	"repro/internal/pipeline"
@@ -387,4 +389,82 @@ func TestChaosStallWatchdog(t *testing.T) {
 	if !errors.Is(err, pipeline.ErrStalled) {
 		t.Fatalf("err = %v, want pipeline.ErrStalled", err)
 	}
+}
+
+// TestChaosDiffCorruptSide drives /v1/diff with a clean run A and a
+// faulted run B: every fault must yield either a 200 whose diff report
+// decodes (marking the damaged side degraded, with warnings) or a
+// clean 4xx/5xx — never a panic, a hang, or a half-written body — and
+// the daemon must stay healthy throughout.
+func TestChaosDiffCorruptSide(t *testing.T) {
+	enc := encodedTrace(t)
+	header := headerLen(t, enc)
+	srv := httptest.NewServer(foldsvc.NewServer(foldsvc.Config{}))
+	defer srv.Close()
+
+	for name, mk := range faultCases(enc, header) {
+		t.Run(name, func(t *testing.T) {
+			// Drain the faulted reader up front (tolerating its error):
+			// the fault surface under test is the decoder behind the
+			// diff route, not the HTTP transport.
+			var damaged bytes.Buffer
+			io.Copy(&damaged, mk()) //nolint:errcheck
+
+			var body bytes.Buffer
+			mw := multipart.NewWriter(&body)
+			for _, side := range []struct {
+				field string
+				data  []byte
+			}{{"a", enc}, {"b", damaged.Bytes()}} {
+				fw, err := mw.CreateFormFile(side.field, side.field+".uvt")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := fw.Write(side.data); err != nil {
+					t.Fatal(err)
+				}
+			}
+			mw.Close()
+
+			done := make(chan struct{})
+			go func() {
+				defer close(done)
+				resp, err := http.Post(srv.URL+"/v1/diff?lenient=1",
+					mw.FormDataContentType(), &body)
+				if err != nil {
+					t.Errorf("transport error: %v", err)
+					return
+				}
+				defer resp.Body.Close()
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					var d diff.Report
+					if derr := json.NewDecoder(resp.Body).Decode(&d); derr != nil {
+						t.Errorf("200 with undecodable diff report: %v", derr)
+						return
+					}
+					if d.DegradedB && len(d.Warnings) == 0 {
+						t.Error("degraded side B reported without warnings")
+					}
+					if _, merr := json.Marshal(&d); merr != nil {
+						t.Errorf("diff report does not re-marshal: %v", merr)
+					}
+				case resp.StatusCode >= 400 && resp.StatusCode < 600:
+					// Rejected cleanly.
+				default:
+					t.Errorf("unexpected status %d", resp.StatusCode)
+				}
+			}()
+			select {
+			case <-done:
+			case <-time.After(60 * time.Second):
+				t.Fatal("diff request hung under fault injection")
+			}
+		})
+	}
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("daemon unhealthy after chaos: %v", err)
+	}
+	resp.Body.Close()
 }

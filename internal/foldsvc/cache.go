@@ -163,6 +163,10 @@ func (s *Server) analyzeCached(w http.ResponseWriter, r *http.Request, ctx conte
 		return
 	}
 	w.Header().Set("Cache-Status", status.String())
+	// The content digest keys the cached report; echoing it lets
+	// clients diff this run later by reference (/v1/diff?digest_a=…)
+	// without re-uploading the trace.
+	w.Header().Set("Trace-Digest", digest)
 	w.Header().Set("Content-Type", "application/json")
 	if _, err := w.Write(data); err != nil {
 		s.cfg.Logger.Debug("response write failed", "err", err)

@@ -1,0 +1,299 @@
+package foldsvc
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/diff"
+	"repro/internal/sim"
+)
+
+// genPerturbedTrace simulates the stencil app with a per-iteration
+// rate perturbation so the two sides of a diff genuinely differ.
+func genPerturbedTrace(t *testing.T, ranks, iters int, seed uint64) []byte {
+	t.Helper()
+	app, err := apps.ByName("stencil", iters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := apps.DefaultTraceConfig(ranks)
+	cfg.Seed = seed
+	cfg.Perturb = sim.PerturbConfig{Factor: 1.2, Fraction: 1, Kernel: "jacobi_sweep", At: 0.6, Seed: 7}
+	tr, err := sim.Run(cfg, app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// multipartDiffBody packs the given sides (nil = omitted) into a
+// multipart body for POST /v1/diff.
+func multipartDiffBody(t *testing.T, a, b []byte) (io.Reader, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	for _, side := range []struct {
+		name string
+		data []byte
+	}{{"a", a}, {"b", b}} {
+		if side.data == nil {
+			continue
+		}
+		fw, err := mw.CreateFormFile(side.name, side.name+".uvt")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fw.Write(side.data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf, mw.FormDataContentType()
+}
+
+// postDiff posts a /v1/diff request and returns status, per-side
+// Cache-Status headers, and the body.
+func postDiff(t *testing.T, base, query string, body io.Reader, ctype string) (int, [2]string, []byte) {
+	t.Helper()
+	if body == nil {
+		body = bytes.NewReader(nil)
+	}
+	resp, err := http.Post(base+"/v1/diff"+query, ctype, body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, [2]string{
+		resp.Header.Get("Cache-Status-A"),
+		resp.Header.Get("Cache-Status-B"),
+	}, out
+}
+
+// TestDiffCacheReuse is the acceptance gate for digest-referenced
+// diffs: after two /v1/analyze calls warmed the cache, a /v1/diff by
+// digest must answer with Cache-Status hit on both sides and run ZERO
+// new analyses — the whole point of sharing the /v1/analyze keyspace.
+func TestDiffCacheReuse(t *testing.T) {
+	_, encA := genTrace(t, 4, 60)
+	encB := genPerturbedTrace(t, 4, 60, 2)
+	srv := httptest.NewServer(NewServer(Config{Jobs: 4}))
+	defer srv.Close()
+
+	var digests [2]string
+	for i, enc := range [][]byte{encA, encB} {
+		resp, err := http.Post(srv.URL+"/v1/analyze", "application/octet-stream", bytes.NewReader(enc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("analyze %d: status %d", i, resp.StatusCode)
+		}
+		digests[i] = resp.Header.Get("Trace-Digest")
+		if digests[i] == "" {
+			t.Fatal("analyze response carries no Trace-Digest header")
+		}
+	}
+	if digests[0] == digests[1] {
+		t.Fatal("distinct traces digested identically")
+	}
+	ranBefore := metricValue(t, srv.URL, "foldsvc_analyze_requests_total")
+	if ranBefore != 2 {
+		t.Fatalf("warmup ran %v analyses, want 2", ranBefore)
+	}
+
+	code, cs, body := postDiff(t, srv.URL,
+		fmt.Sprintf("?digest_a=%s&digest_b=%s", digests[0], digests[1]), nil, "application/octet-stream")
+	if code != http.StatusOK {
+		t.Fatalf("diff status %d: %s", code, body)
+	}
+	if cs[0] != "hit" || cs[1] != "hit" {
+		t.Fatalf("Cache-Status A=%q B=%q; want hit/hit", cs[0], cs[1])
+	}
+	var d diff.Report
+	if err := json.Unmarshal(body, &d); err != nil {
+		t.Fatalf("diff body does not decode: %v", err)
+	}
+	if len(d.Matched) == 0 {
+		t.Fatal("diff matched no phases")
+	}
+	if !d.Significant() {
+		t.Error("perturbed run B not flagged as diverged")
+	}
+
+	if ran := metricValue(t, srv.URL, "foldsvc_analyze_requests_total"); ran != ranBefore {
+		t.Fatalf("digest-referenced diff ran %v new analyses, want 0", ran-ranBefore)
+	}
+	if n := metricValue(t, srv.URL, `foldsvc_diff_total{outcome="ok"}`); n != 1 {
+		t.Errorf(`foldsvc_diff_total{outcome="ok"} = %v, want 1`, n)
+	}
+}
+
+// TestDiffUpload exercises the two-part upload form: the first diff
+// misses and analyzes both sides (warming the shared analyze cache),
+// a repeat hits both sides, and a subsequent /v1/analyze of one side
+// hits the entry the diff stored.
+func TestDiffUpload(t *testing.T) {
+	_, encA := genTrace(t, 4, 60)
+	encB := genPerturbedTrace(t, 4, 60, 2)
+	srv := httptest.NewServer(NewServer(Config{Jobs: 4}))
+	defer srv.Close()
+
+	body, ctype := multipartDiffBody(t, encA, encB)
+	code, cs, out := postDiff(t, srv.URL, "", body, ctype)
+	if code != http.StatusOK {
+		t.Fatalf("diff status %d: %s", code, out)
+	}
+	if cs[0] != "miss" || cs[1] != "miss" {
+		t.Fatalf("first diff Cache-Status A=%q B=%q; want miss/miss", cs[0], cs[1])
+	}
+	var first diff.Report
+	if err := json.Unmarshal(out, &first); err != nil {
+		t.Fatalf("diff body does not decode: %v", err)
+	}
+
+	body, ctype = multipartDiffBody(t, encA, encB)
+	code, cs, out2 := postDiff(t, srv.URL, "", body, ctype)
+	if code != http.StatusOK || cs[0] != "hit" || cs[1] != "hit" {
+		t.Fatalf("repeat diff: status %d, Cache-Status A=%q B=%q; want 200 hit/hit", code, cs[0], cs[1])
+	}
+	if !bytes.Equal(out, out2) {
+		t.Error("repeat diff body differs from first")
+	}
+
+	code, status, _ := postAnalyze(t, srv.URL, "", encA)
+	if code != http.StatusOK || status != "hit" {
+		t.Fatalf("analyze after diff upload: status %d, Cache-Status %q; want 200 hit", code, status)
+	}
+
+	// Mixed form: side A by digest (warmed above), side B uploaded.
+	resp, err := http.Post(srv.URL+"/v1/analyze", "application/octet-stream", bytes.NewReader(encA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	digestA := resp.Header.Get("Trace-Digest")
+	body, ctype = multipartDiffBody(t, nil, encB)
+	code, cs, out3 := postDiff(t, srv.URL, "?digest_a="+digestA, body, ctype)
+	if code != http.StatusOK || cs[0] != "hit" || cs[1] != "hit" {
+		t.Fatalf("mixed diff: status %d, Cache-Status A=%q B=%q; want 200 hit/hit", code, cs[0], cs[1])
+	}
+	var mixed diff.Report
+	if err := json.Unmarshal(out3, &mixed); err != nil {
+		t.Fatal(err)
+	}
+	if len(mixed.Matched) != len(first.Matched) {
+		t.Errorf("mixed diff matched %d phases, upload diff %d", len(mixed.Matched), len(first.Matched))
+	}
+}
+
+// TestDiffDegraded feeds a truncated side B with ?lenient=1: the diff
+// must complete, mark itself degraded, and count under the degraded
+// outcome.
+func TestDiffDegraded(t *testing.T) {
+	_, encA := genTrace(t, 4, 60)
+	_, encB := genTrace(t, 4, 60)
+	srv := httptest.NewServer(NewServer(Config{Jobs: 4}))
+	defer srv.Close()
+
+	body, ctype := multipartDiffBody(t, encA, encB[:len(encB)*3/5])
+	code, _, out := postDiff(t, srv.URL, "?lenient=1", body, ctype)
+	if code != http.StatusOK {
+		t.Fatalf("degraded diff status %d: %s", code, out)
+	}
+	var d diff.Report
+	if err := json.Unmarshal(out, &d); err != nil {
+		t.Fatal(err)
+	}
+	if !d.DegradedB {
+		t.Error("truncated side B not marked degraded")
+	}
+	if n := metricValue(t, srv.URL, `foldsvc_diff_total{outcome="degraded"}`); n != 1 {
+		t.Errorf(`foldsvc_diff_total{outcome="degraded"} = %v, want 1`, n)
+	}
+}
+
+// TestDiffErrors locks the /v1/diff error semantics: 405 on GET, 400
+// on a missing body, 404 on a cold digest reference, 400 on digest
+// references without a cache, 400 on out-of-order parts and bad
+// diff parameters, 413 on an oversized side.
+func TestDiffErrors(t *testing.T) {
+	_, enc := genTrace(t, 2, 30)
+	srv := httptest.NewServer(NewServer(Config{Jobs: 4}))
+	defer srv.Close()
+
+	if resp, err := http.Get(srv.URL + "/v1/diff"); err != nil {
+		t.Fatal(err)
+	} else {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET status %d, want 405", resp.StatusCode)
+		}
+	}
+
+	code, _, _ := postDiff(t, srv.URL, "", nil, "application/octet-stream")
+	if code != http.StatusBadRequest {
+		t.Errorf("bodyless POST status %d, want 400", code)
+	}
+
+	code, _, body := postDiff(t, srv.URL, "?digest_a=deadbeef&digest_b=deadbeef", nil, "application/octet-stream")
+	if code != http.StatusNotFound {
+		t.Errorf("cold digest status %d, want 404: %s", code, body)
+	}
+
+	nocache := httptest.NewServer(NewServer(Config{Jobs: 4, CacheMaxBytes: -1}))
+	defer nocache.Close()
+	code, _, _ = postDiff(t, nocache.URL, "?digest_a=deadbeef&digest_b=deadbeef", nil, "application/octet-stream")
+	if code != http.StatusBadRequest {
+		t.Errorf("digest ref without cache: status %d, want 400", code)
+	}
+
+	// Parts in the wrong order: field "b" arrives where "a" is expected.
+	var buf bytes.Buffer
+	mw := multipart.NewWriter(&buf)
+	fw, _ := mw.CreateFormFile("b", "b.uvt")
+	fw.Write(enc)
+	fw, _ = mw.CreateFormFile("a", "a.uvt")
+	fw.Write(enc)
+	mw.Close()
+	code, _, _ = postDiff(t, srv.URL, "", &buf, mw.FormDataContentType())
+	if code != http.StatusBadRequest {
+		t.Errorf("out-of-order parts status %d, want 400", code)
+	}
+
+	for _, q := range []string{"?radius=-1", "?sigma=x", "?diff_bins=0", "?noise_floor=-0.5"} {
+		body, ctype := multipartDiffBody(t, enc, enc)
+		code, _, _ = postDiff(t, srv.URL, q, body, ctype)
+		if code != http.StatusBadRequest {
+			t.Errorf("%s status %d, want 400", q, code)
+		}
+	}
+
+	small := httptest.NewServer(NewServer(Config{Jobs: 4, MaxBody: 1024}))
+	defer small.Close()
+	body2, ctype := multipartDiffBody(t, enc, enc)
+	code, _, _ = postDiff(t, small.URL, "", body2, ctype)
+	if code != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized side status %d, want 413", code)
+	}
+}

@@ -187,6 +187,7 @@ func NewServer(cfg Config) *Server {
 	} else {
 		s.mux.Handle("/v1/analyze", s.instrument("/v1/analyze", s.handleAnalyze))
 	}
+	s.mux.Handle("/v1/diff", s.instrument("/v1/diff", s.handleDiff))
 	s.mux.Handle("/v1/partial", s.instrument("/v1/partial", s.handlePartial))
 	s.mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.Handle("/metrics", s.reg.Handler())

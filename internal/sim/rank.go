@@ -28,6 +28,7 @@ type Rank struct {
 	seq     int             // collective sequence number
 	tick    trace.Time      // next sampler tick (absolute)
 	depth   []uint32        // explicit user-region stack (region ids)
+	iter    int             // current iteration (last Iteration marker; 0 before)
 
 	mainRegion uint32
 
@@ -166,6 +167,29 @@ func (r *Rank) Compute(k *kernels.Kernel) {
 		d = 1
 	}
 
+	// A perturbed instance stalls — no counters accrue — for
+	// (Factor−1)×d at normalized position At, slowing its mean rates by
+	// 1/Factor without touching totals. Selection is a pure hash of the
+	// iteration, so unperturbed instances are bit-identical to a run
+	// without perturbation.
+	stall, stallAt := trace.Time(0), d
+	if pc := &r.cfg.Perturb; pc.enabled() && (pc.Kernel == "" || pc.Kernel == k.Name) && pc.Selected(r.iter) {
+		stall = trace.Time(float64(d) * (pc.Factor - 1))
+		stallAt = trace.Time(float64(d) * pc.At)
+	}
+	total := d + stall
+	// progress maps wall offset within the instance to compute fraction.
+	progress := func(w trace.Time) float64 {
+		if stall > 0 && w > stallAt {
+			if w < stallAt+stall {
+				w = stallAt
+			} else {
+				w -= stall
+			}
+		}
+		return float64(w) / float64(d)
+	}
+
 	var totals counters.Values
 	for c := range totals {
 		totals[c] = int64(float64(k.TotalOf(counters.Counter(c))) * imb * work)
@@ -177,16 +201,16 @@ func (r *Rank) Compute(k *kernels.Kernel) {
 
 	kernelRegion := r.eng.intern(k.Name)
 	base := r.ctr
-	var done trace.Time // pure compute time completed so far
+	var done trace.Time // wall time completed inside the instance so far
 	if r.cfg.Sampling.Period > 0 {
-		for r.tick < r.now+(d-done) {
+		for r.tick < r.now+(total-done) {
 			at := r.tick
 			if at < r.now {
 				at = r.now // tick became overdue during a probe
 			}
 			done += at - r.now
 			r.now = at
-			u := float64(done) / float64(d)
+			u := progress(done)
 			for c := range r.ctr {
 				cc := counters.Counter(c)
 				if cc == counters.TotCyc {
@@ -206,7 +230,7 @@ func (r *Rank) Compute(k *kernels.Kernel) {
 			r.tick += r.nextTickGap()
 		}
 	}
-	r.now += d - done
+	r.now += total - done
 	for c := range r.ctr {
 		if counters.Counter(c) == counters.TotCyc {
 			continue
@@ -219,8 +243,10 @@ func (r *Rank) Compute(k *kernels.Kernel) {
 	}
 }
 
-// Iteration emits an iteration marker event.
+// Iteration emits an iteration marker event and makes n the current
+// iteration for perturbation selection.
 func (r *Rank) Iteration(n int) {
+	r.iter = n
 	r.event(trace.EvIteration, int64(n), true)
 }
 

@@ -63,6 +63,50 @@ type InstrConfig struct {
 	Oracle bool
 }
 
+// PerturbConfig injects a reproducible behavior change into selected
+// iterations — the controlled "regression" half of a two-run
+// differential experiment. On a selected iteration, every matching
+// kernel instance is slowed by inserting a counter-free stall of
+// (Factor−1)× its nominal duration at normalized position At inside
+// the instance: the instance's mean counter rates drop by 1/Factor and
+// the folded rate curves dip around At, which is exactly the signal
+// cross-run diffing must localize. Selection is a pure hash of
+// (Seed, iteration) — it consumes no simulator randomness, so the
+// unperturbed iterations of a perturbed run stay bit-identical to the
+// baseline run's.
+type PerturbConfig struct {
+	// Factor is the slowdown of selected instances (2 = twice as slow);
+	// 0 or 1 disables perturbation entirely.
+	Factor float64
+	// Fraction is the fraction of iterations selected, in (0,1].
+	Fraction float64
+	// Kernel restricts the perturbation to one kernel name ("" = all).
+	Kernel string
+	// At is the normalized position inside the instance where the stall
+	// is inserted, in [0,1].
+	At float64
+	// Seed seeds iteration selection, independently of Config.Seed.
+	Seed uint64
+}
+
+func (p *PerturbConfig) enabled() bool { return p.Factor > 1 && p.Fraction > 0 }
+
+// Selected reports whether iteration n (1-based; 0 = before the first
+// marker) is perturbed. It is a pure function of (Seed, n) — every rank
+// agrees without consuming any rng stream (splitmix64 finalizer).
+func (p *PerturbConfig) Selected(n int) bool {
+	if !p.enabled() || n <= 0 {
+		return false
+	}
+	x := p.Seed ^ (uint64(n) * 0x9e3779b97f4a7c15)
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return float64(x>>11)/(1<<53) < p.Fraction
+}
+
 // Config parameterizes a simulated run.
 type Config struct {
 	Ranks    int
@@ -71,6 +115,7 @@ type Config struct {
 	Network  NetworkConfig
 	Sampling SamplingConfig
 	Instr    InstrConfig
+	Perturb  PerturbConfig
 }
 
 // DefaultConfig returns a reasonable cluster-node configuration: 2.5 GHz
@@ -124,6 +169,17 @@ func (c *Config) Validate() error {
 	if c.Sampling.Period > 0 && c.Sampling.Overhead*2 >= c.Sampling.Period {
 		return fmt.Errorf("sim: sampling overhead %d too large for period %d (the sampler would consume the machine)",
 			c.Sampling.Overhead, c.Sampling.Period)
+	}
+	if p := &c.Perturb; p.Factor != 0 {
+		if p.Factor < 1 {
+			return fmt.Errorf("sim: perturb factor %g below 1 (perturbation only slows instances down)", p.Factor)
+		}
+		if p.Fraction < 0 || p.Fraction > 1 {
+			return fmt.Errorf("sim: perturb fraction %g outside [0,1]", p.Fraction)
+		}
+		if p.At < 0 || p.At > 1 {
+			return fmt.Errorf("sim: perturb position %g outside [0,1]", p.At)
+		}
 	}
 	return nil
 }
@@ -187,6 +243,15 @@ func Run(cfg Config, app App) (*trace.Trace, error) {
 	b.SetParam("clock_ghz", fmt.Sprintf("%g", cfg.ClockGHz))
 	b.SetParam("sample_overhead_ns", fmt.Sprintf("%d", cfg.Sampling.Overhead))
 	b.SetParam("event_overhead_ns", fmt.Sprintf("%d", cfg.Instr.EventOverhead))
+	if cfg.Perturb.enabled() {
+		b.SetParam("perturb_factor", fmt.Sprintf("%g", cfg.Perturb.Factor))
+		b.SetParam("perturb_fraction", fmt.Sprintf("%g", cfg.Perturb.Fraction))
+		b.SetParam("perturb_at", fmt.Sprintf("%g", cfg.Perturb.At))
+		b.SetParam("perturb_seed", fmt.Sprintf("%d", cfg.Perturb.Seed))
+		if cfg.Perturb.Kernel != "" {
+			b.SetParam("perturb_kernel", cfg.Perturb.Kernel)
+		}
+	}
 	for _, name := range eng.regionNames() {
 		b.Region(name)
 	}
