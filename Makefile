@@ -31,6 +31,12 @@
 #   make e2e-diff — cross-run diff end-to-end over HTTP: /v1/diff by
 #                   upload, by cached digest reference (zero re-analysis)
 #                   and with a degraded side, under the race detector
+#   make e2e-session — live-session end-to-end under the race detector:
+#                   journaled appends, crash recovery to a report
+#                   deep-equal to an uninterrupted run, SSE resume via
+#                   Last-Event-ID with no duplicated or skipped
+#                   snapshots, drain, budgets and the client helper
+#                   (also part of make check)
 #   make bench-diff — run just BenchmarkDiff (needs BENCH_SCALE=large)
 #                   and fold it into today's BENCH snapshot via
 #                   benchjson -merge
@@ -46,7 +52,7 @@ FUZZTIME  ?= 10s
 # clustering of a ~100k-burst trace (tracegen -preset bench-large).
 BENCH_SCALE ?=
 
-.PHONY: build test check chaos bench benchmem e2e-dist e2e-diff bench-diff
+.PHONY: build test check chaos bench benchmem e2e-dist e2e-diff e2e-session bench-diff
 
 build:
 	$(GO) build ./...
@@ -67,9 +73,13 @@ check:
 	$(GO) build ./examples/...
 	$(GO) run ./cmd/benchjson -gate -tol 10 -cur newest
 	$(MAKE) chaos
+	$(MAKE) e2e-session
 
 chaos:
 	$(GO) test -race -count 1 ./internal/faultinject/
+
+e2e-session:
+	$(GO) test -race -count 1 -run 'TestSession|TestClientSession|TestSubscriber|TestChunks' ./internal/session/ ./internal/foldsvc/
 
 bench:
 	BENCH_SCALE=$(BENCH_SCALE) $(GO) test -run '^$$' -bench '$(BENCH)' -benchmem -benchtime $(BENCHTIME) -timeout 60m . \

@@ -21,6 +21,21 @@
 //	POST /v1/partial    worker half of a distributed analysis: map one
 //	                    shard (?shard=i&shards=n&mode=time|rank) of the
 //	                    uploaded trace to a mergeable JSON core.Partial.
+//	POST /v1/session    open a live analysis session (same query knobs as
+//	                    /v1/analyze, fixed for the session's life); the
+//	                    response carries the session id. With -session-dir
+//	                    every append is write-ahead journaled and sessions
+//	                    survive a daemon crash or restart.
+//	POST /v1/session/{id}/append
+//	                    stream one trace chunk into the session (?seq=N
+//	                    makes retries idempotent); acknowledged only after
+//	                    the journal write.
+//	GET  /v1/session/{id}/events
+//	                    SSE stream of evolving Report snapshots with
+//	                    monotonic event ids; reconnect with Last-Event-ID
+//	                    to resume without duplicates or gaps.
+//	GET  /v1/session/{id}
+//	                    JSON session status.
 //	GET  /metrics       Prometheus text exposition
 //	GET  /healthz       liveness probe
 //	GET  /debug/pprof/  runtime profiling
@@ -89,6 +104,11 @@ func main() {
 		workers  = flag.String("workers", "", "comma-separated worker base URLs; non-empty switches /v1/analyze into coordinator mode (fan out shards, reduce locally)")
 		shards   = flag.Int("shards", 0, "shards per coordinated analysis (0 = one per worker)")
 		shardMd  = flag.String("shard-mode", "time", "how the coordinator splits uploads: time (window slices) or rank (rank groups)")
+		sessDir  = flag.String("session-dir", "", "directory for live-session write-ahead journals (empty = sessions are memory-only and die with the process)")
+		sessTTL  = flag.Duration("session-ttl", 15*time.Minute, "evict live sessions with no appends for this long")
+		sessMax  = flag.Int64("session-max-bytes", 64<<20, "per-session appended-byte budget (429 beyond)")
+		sessTot  = flag.Int64("sessions-max-bytes", 256<<20, "appended-byte budget across all live sessions (429 beyond)")
+		sessHB   = flag.Duration("session-heartbeat", 15*time.Second, "SSE keepalive interval for /v1/session/{id}/events")
 	)
 	flag.Parse()
 
@@ -126,6 +146,12 @@ func main() {
 		Workers:       workerURLs,
 		Shards:        *shards,
 		ShardMode:     mode,
+
+		SessionDir:       *sessDir,
+		SessionTTL:       *sessTTL,
+		SessionMaxBytes:  *sessMax,
+		SessionsMaxBytes: *sessTot,
+		SessionHeartbeat: *sessHB,
 	})
 
 	hs := &http.Server{
@@ -148,11 +174,15 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	// Graceful drain: stop accepting, let in-flight analyses finish
-	// within the drain budget, then cut the remainder loose.
+	// Graceful drain: flip into drain mode first — admission routes
+	// answer 503 + Retry-After, live sessions flush their journals and
+	// send a final "end" event to SSE subscribers — then let in-flight
+	// requests finish within the drain budget and cut the remainder
+	// loose.
 	logger.Info("shutting down", "drain", *drain)
 	dctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
+	srv.StartDrain(dctx)
 	if err := hs.Shutdown(dctx); err != nil {
 		logger.Warn("drain budget exceeded, closing", "err", err)
 		hs.Close()

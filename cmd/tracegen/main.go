@@ -2,7 +2,10 @@
 // the simulator and writes the resulting trace, optionally also in the
 // Paraver-style text format. With -o - the encoded trace goes to stdout
 // (status to stderr), so it can be piped straight into a streaming
-// consumer: tracegen -app stencil -o - | fold -stream.
+// consumer: tracegen -app stencil -o - | fold -stream. Adding
+// -pace 50000 paces the stdout stream to about that many records per
+// second of wall-clock time, emulating a live application feeding a
+// consumer in real time.
 //
 // Usage:
 //
@@ -10,10 +13,13 @@
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/paraver"
@@ -32,6 +38,7 @@ func main() {
 		fine    = flag.Bool("fine", false, "use the fine-grain reference configuration (50 µs)")
 		out     = flag.String("o", "", "output trace file (default <app>.uvt)")
 		prv     = flag.Bool("prv", false, "also write <out>.prv and <out>.pcf (Paraver-style text)")
+		pace    = flag.Float64("pace", 0, "with -o -, pace stdout emission to about this many records/s instead of writing at full speed (0 = no pacing); exercises live consumers")
 
 		perturb       = flag.Float64("perturb", 0, "slow selected iterations' kernel instances by this factor (0 disables; e.g. 1.5 = 50% slower)")
 		perturbFrac   = flag.Float64("perturb-frac", 0.5, "fraction of iterations perturbed (selection is seeded, not a prefix)")
@@ -86,13 +93,23 @@ func main() {
 		if *prv {
 			fatal(fmt.Errorf("-prv needs a file path, not stdout"))
 		}
-		if err := tr.Write(os.Stdout); err != nil {
+		if *pace < 0 {
+			fatal(fmt.Errorf("-pace must be >= 0 (got %g)", *pace))
+		}
+		if *pace > 0 {
+			if err := writePaced(tr, os.Stdout, *pace); err != nil {
+				fatal(err)
+			}
+		} else if err := tr.Write(os.Stdout); err != nil {
 			fatal(err)
 		}
 		st := tr.Stats()
 		fmt.Fprintf(os.Stderr, "wrote trace to stdout: %d ranks, %.3f s virtual time, %d events, %d samples, %d comms\n",
 			tr.Meta.Ranks, float64(st.Duration)/1e9, st.Events, st.Samples, st.Comms)
 		return
+	}
+	if *pace > 0 {
+		fatal(fmt.Errorf("-pace works with -o - (stdout streaming) only"))
 	}
 	if err := tr.WriteFile(path); err != nil {
 		fatal(err)
@@ -106,6 +123,45 @@ func main() {
 			fatal(err)
 		}
 	}
+}
+
+// writePaced emits the encoded trace in wall-clock-paced slices so the
+// whole stream lasts about records/rate seconds — a cheap stand-in for
+// a live application when exercising streaming consumers (fold -stream,
+// live analysis sessions). Pacing is byte-proportional over the encoded
+// form; the receiving decoder sees the same bytes either way.
+func writePaced(tr *trace.Trace, w io.Writer, rate float64) error {
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		return err
+	}
+	st := tr.Stats()
+	records := float64(st.Events + st.Samples + st.Comms)
+	total := time.Duration(records / rate * float64(time.Second))
+	const tick = 50 * time.Millisecond
+	steps := int(total / tick)
+	data := buf.Bytes()
+	if steps < 1 {
+		_, err := w.Write(data)
+		return err
+	}
+	chunk := (len(data) + steps - 1) / steps
+	if chunk < 1 {
+		chunk = 1
+	}
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		if _, err := w.Write(data[off:end]); err != nil {
+			return err
+		}
+		if end < len(data) {
+			time.Sleep(tick)
+		}
+	}
+	return nil
 }
 
 // validateShape rejects impossible workload shapes up front, with an

@@ -372,6 +372,7 @@ func assemble(out *pipeline.Outcome, opts Options) *Report {
 	}
 	if out.Online {
 		assembleOnline(rep, out, opts)
+		rep.Warnings = BoundWarnings(rep.Warnings)
 		return rep
 	}
 	kept := out.Kept
@@ -401,6 +402,7 @@ func assemble(out *pipeline.Outcome, opts Options) *Report {
 		})
 		notePhasePanics(rep, panics)
 	}
+	rep.Warnings = BoundWarnings(rep.Warnings)
 	return rep
 }
 

@@ -196,6 +196,9 @@ func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "use POST (shard upload)", http.StatusMethodNotAllowed)
 		return
 	}
+	if s.rejectIfDraining(w) {
+		return
+	}
 	select {
 	case s.sem <- struct{}{}:
 	default:
@@ -275,6 +278,9 @@ func (s *Server) handleCoordinate(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "coordinator mode accepts POST trace uploads only",
 			http.StatusMethodNotAllowed)
+		return
+	}
+	if s.rejectIfDraining(w) {
 		return
 	}
 	select {

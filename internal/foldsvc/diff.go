@@ -29,12 +29,19 @@ import (
 
 // handleDiff serves POST /v1/diff.
 func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
-	// A diff of two cache references reads, never computes, so GET is
-	// honest for it; anything carrying a trace upload must POST.
-	bothDigests := r.URL.Query().Get("digest_a") != "" && r.URL.Query().Get("digest_b") != ""
-	if r.Method != http.MethodPost && !(r.Method == http.MethodGet && bothDigests) {
-		http.Error(w, `use POST with multipart fields "a" and "b" (traces) and/or ?digest_a=&digest_b= cache references (GET works when both sides are digest references)`,
+	// A diff of two references — cached digests or live-session
+	// snapshots — reads, never computes, so GET is honest for it;
+	// anything carrying a trace upload must POST.
+	q := r.URL.Query()
+	refd := func(side string) bool {
+		return q.Get("digest_"+side) != "" || q.Get("session_"+side) != ""
+	}
+	if r.Method != http.MethodPost && !(r.Method == http.MethodGet && refd("a") && refd("b")) {
+		http.Error(w, `use POST with multipart fields "a" and "b" (traces) and/or ?digest_a=&digest_b= / ?session_a=&session_b= references (GET works when both sides are references)`,
 			http.StatusMethodNotAllowed)
+		return
+	}
+	if s.rejectIfDraining(w) {
 		return
 	}
 
@@ -78,15 +85,15 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 		defer cancel()
 	}
 
-	q := r.URL.Query()
 	digests := [2]string{q.Get("digest_a"), q.Get("digest_b")}
+	sessRefs := [2]string{q.Get("session_a"), q.Get("session_b")}
 	var parts *multipart.Reader
-	if digests[0] == "" || digests[1] == "" {
+	if !(refd("a") && refd("b")) {
 		parts, err = r.MultipartReader()
 		if err != nil {
 			s.diffOutcome("error")
 			http.Error(w, fmt.Sprintf(
-				`sides without a digest reference need a multipart body with trace fields "a"/"b": %v`, err),
+				`sides without a digest or session reference need a multipart body with trace fields "a"/"b": %v`, err),
 				http.StatusBadRequest)
 			return
 		}
@@ -94,7 +101,20 @@ func (s *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 
 	var reports [2]*core.Report
 	for i, side := range [2]string{"a", "b"} {
-		rep, status, failed := s.resolveDiffSide(w, r, ctx, opts, side, digests[i], parts)
+		if digests[i] != "" && sessRefs[i] != "" {
+			s.diffOutcome("error")
+			http.Error(w, fmt.Sprintf("side %q has both a digest and a session reference; pick one", side),
+				http.StatusBadRequest)
+			return
+		}
+		var rep *core.Report
+		var status string
+		var failed bool
+		if sessRefs[i] != "" {
+			rep, status, failed = s.resolveDiffSession(w, side, sessRefs[i])
+		} else {
+			rep, status, failed = s.resolveDiffSide(w, r, ctx, opts, side, digests[i], parts)
+		}
 		if failed {
 			s.diffOutcome("error")
 			return
@@ -135,6 +155,27 @@ func (s *Server) diffOutcome(outcome string) {
 	s.reg.Counter("foldsvc_diff_total",
 		"Cross-run diff requests, by outcome (ok, degraded, error).",
 		obs.Label{Name: "outcome", Value: outcome}).Inc()
+}
+
+// resolveDiffSession produces one side's Report from a live session's
+// latest published snapshot — the consumer the diff layer was built
+// for: compare an in-flight run against a cached baseline digest while
+// the run is still appending. The snapshot Report is immutable once
+// published, so no copy is needed.
+func (s *Server) resolveDiffSession(w http.ResponseWriter, side, id string) (*core.Report, string, bool) {
+	sess, ok := s.sessions.Get(id)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown session %q for side %q", id, side), http.StatusNotFound)
+		return nil, "", true
+	}
+	sn := sess.Latest()
+	if sn == nil {
+		http.Error(w, fmt.Sprintf(
+			"session %q has published no snapshot yet; append records and retry", id),
+			http.StatusNotFound)
+		return nil, "", true
+	}
+	return sn.Report, "session", false
 }
 
 // resolveDiffSide produces one side's Report, either from the result

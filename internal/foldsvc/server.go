@@ -20,12 +20,14 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"net/url"
 	"os"
 	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cluster"
@@ -36,6 +38,7 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/pipeline"
 	"repro/internal/rescache"
+	"repro/internal/session"
 	"repro/internal/trace"
 )
 
@@ -68,6 +71,29 @@ type Config struct {
 	// directory (atomic-rename writes, digest-named files) so warm
 	// results survive daemon restarts.
 	CacheDir string
+	// SessionDir, when non-empty, journals live-session appends under
+	// this directory (one subdirectory per session, atomic-rename
+	// segments) and replays them at startup, so sessions survive a crash
+	// or restart. "" keeps sessions memory-only.
+	SessionDir string
+	// SessionTTL evicts sessions with no appends for this long
+	// (default 15m).
+	SessionTTL time.Duration
+	// SessionMaxBytes caps one session's appended bytes (default 64 MiB);
+	// exceeding it answers 429 with Retry-After.
+	SessionMaxBytes int64
+	// SessionsMaxBytes caps appended bytes across all live sessions
+	// (default 256 MiB).
+	SessionsMaxBytes int64
+	// MaxSessions caps concurrently live sessions (default 64).
+	MaxSessions int
+	// SessionRing is the per-session snapshot retention — the resume
+	// window for SSE consumers reconnecting with Last-Event-ID
+	// (default 64).
+	SessionRing int
+	// SessionHeartbeat is the SSE keepalive interval (default 15s); the
+	// per-write deadline is twice this.
+	SessionHeartbeat time.Duration
 	// Logger receives the daemon's structured log stream.
 	Logger *slog.Logger
 
@@ -102,9 +128,12 @@ type Server struct {
 	inflight  *obs.Gauge
 	cancelled *obs.Counter
 	panics    *obs.Counter
+	draining  *obs.Gauge
+	drain     atomic.Bool
 
-	cache *rescache.Cache // nil when Config.CacheMaxBytes < 0
-	coord *coordinator    // nil unless Config.Workers is set
+	cache    *rescache.Cache  // nil when Config.CacheMaxBytes < 0
+	coord    *coordinator     // nil unless Config.Workers is set
+	sessions *session.Manager // live analysis sessions
 }
 
 // NewServer wires the daemon's routes and metric families.
@@ -141,6 +170,8 @@ func NewServer(cfg Config) *Server {
 
 	s.inflight = s.reg.Gauge("foldsvc_inflight_jobs",
 		"Analyses currently running.")
+	s.draining = s.reg.Gauge("foldsvc_draining",
+		"1 while the daemon is draining for shutdown (admission routes answer 503).")
 	s.cancelled = s.reg.Counter("foldsvc_cancelled_total",
 		"Analyses abandoned because the client disconnected or the deadline expired.")
 	s.panics = s.reg.Counter("foldsvc_panics_total",
@@ -189,6 +220,22 @@ func NewServer(cfg Config) *Server {
 	}
 	s.mux.Handle("/v1/diff", s.instrument("/v1/diff", s.handleDiff))
 	s.mux.Handle("/v1/partial", s.instrument("/v1/partial", s.handlePartial))
+	mgr, err := s.newSessionManager()
+	if err != nil {
+		// A broken journal directory should not take the whole daemon
+		// down: fall back to memory-only sessions and say so.
+		s.cfg.Logger.Error("session journaling disabled", "dir", cfg.SessionDir, "err", err)
+		memCfg := s.cfg
+		memCfg.SessionDir = ""
+		s.cfg = memCfg
+		mgr, err = s.newSessionManager()
+		if err != nil {
+			panic("foldsvc: memory-only session manager: " + err.Error())
+		}
+	}
+	s.sessions = mgr
+	s.mux.Handle("/v1/session", s.instrument("/v1/session", s.handleSessionOpen))
+	s.mux.Handle("/v1/session/", s.instrument("/v1/session/", s.handleSession))
 	s.mux.Handle("/healthz", s.instrument("/healthz", s.handleHealthz))
 	s.mux.Handle("/metrics", s.reg.Handler())
 	obs.RegisterPprof(s.mux)
@@ -215,6 +262,13 @@ type statusWriter struct {
 func (sw *statusWriter) WriteHeader(code int) {
 	sw.code = code
 	sw.ResponseWriter.WriteHeader(code)
+}
+
+// Unwrap lets http.NewResponseController reach the underlying
+// connection's Flusher and write deadlines through this wrapper — the
+// SSE session stream needs both.
+func (sw *statusWriter) Unwrap() http.ResponseWriter {
+	return sw.ResponseWriter
 }
 
 // instrument wraps a handler with panic recovery, request counting and
@@ -255,6 +309,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost && r.Method != http.MethodGet {
 		http.Error(w, "use POST (trace upload) or GET with ?path=", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.rejectIfDraining(w) {
 		return
 	}
 
@@ -439,7 +496,13 @@ func (s *Server) openLocal(p string) (*os.File, int, error) {
 //	counter=PAPI_TOT_INS[,...] knn=auto|brute|kdtree sil_sample=N
 //	min_burst_us=N lenient=1 columnar=0|1
 func optionsFromQuery(r *http.Request) (core.Options, error) {
-	q := r.URL.Query()
+	return optionsFromValues(r.URL.Query())
+}
+
+// optionsFromValues is optionsFromQuery over bare query values — the
+// form session open (and journal recovery, replaying a persisted query)
+// uses.
+func optionsFromValues(q url.Values) (core.Options, error) {
 	var opts core.Options
 
 	geti := func(name string) (int, bool, error) {

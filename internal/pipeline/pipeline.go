@@ -60,10 +60,13 @@ type Pipeline struct {
 	// counters the Report carries. Set it before the first Go call.
 	Logger *slog.Logger
 
-	wg      sync.WaitGroup
-	once    sync.Once
-	quit    chan struct{}
-	err     error
+	wg    sync.WaitGroup
+	once  sync.Once
+	quit  chan struct{}
+	errMu sync.Mutex
+	err   error // guarded by errMu: a Watch goroutine can fail the
+	// pipeline (cancelled context) concurrently with Wait reading the
+	// result after the last stage returned.
 	metrics []*Metrics
 
 	// progress counts stage work items (blocks moved, records sunk); the
@@ -112,9 +115,18 @@ func (p *Pipeline) Quit() <-chan struct{} { return p.quit }
 // fail records the first error and releases every blocked sender.
 func (p *Pipeline) fail(err error) {
 	p.once.Do(func() {
+		p.errMu.Lock()
 		p.err = err
+		p.errMu.Unlock()
 		close(p.quit)
 	})
+}
+
+// loadErr reads the latched error under the lock.
+func (p *Pipeline) loadErr() error {
+	p.errMu.Lock()
+	defer p.errMu.Unlock()
+	return p.err
 }
 
 // Go runs fn as a named stage. fn owns the returned Metrics for counting
@@ -147,7 +159,7 @@ func (p *Pipeline) Go(name string, fn func(m *Metrics) error) {
 // error, if any.
 func (p *Pipeline) Wait() error {
 	p.wg.Wait()
-	return p.err
+	return p.loadErr()
 }
 
 // beat records one unit of stage progress for the stall watchdog.
@@ -231,20 +243,20 @@ func (p *Pipeline) waitOrAbandon() error {
 	}()
 	select {
 	case <-done:
-		return p.err
+		return p.loadErr()
 	case <-p.quit:
 	}
 	// An error is latched; the stages normally drain in microseconds.
 	select {
 	case <-done:
-		return p.err
+		return p.loadErr()
 	case <-time.After(stallGrace):
 	}
-	if errors.Is(p.err, ErrStalled) {
-		return p.err
+	if err := p.loadErr(); errors.Is(err, ErrStalled) {
+		return err
 	}
 	<-done
-	return p.err
+	return p.loadErr()
 }
 
 // Metrics returns the per-stage counters in spawn order; call it only

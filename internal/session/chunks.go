@@ -1,0 +1,104 @@
+package session
+
+import "repro/internal/trace"
+
+// Chunks partitions a sorted trace into at most n append-ready pieces.
+// Unlike core.Split (whose shards deliberately duplicate boundary state
+// for map/reduce) or trace.Slice (which re-bases time and synthesizes
+// balancing events), Chunks is record-preserving: concatenating all the
+// pieces and sorting reproduces the input exactly, so a session fed the
+// pieces in order accumulates the byte-identical record set.
+//
+// Cuts are placed only at globally MPI-quiescent instants — times where
+// no rank is inside an MPI call — so every prefix union of the pieces
+// passes strict validation (per-rank enter/exit stays balanced at each
+// boundary). That is what makes the pieces usable as live-session
+// appends: tracegen, the e2e suite and the chaos harness all stream
+// traces this way. Events and samples partition by Time, comms by
+// SendTime (a message may complete after its chunk's window; validation
+// only bounds RecvTime by the duration, which every piece carries in
+// full). If the trace has fewer quiescent instants than requested, fewer
+// pieces are returned; the result always has at least one.
+func Chunks(tr *trace.Trace, n int) []*trace.Trace {
+	if n < 1 {
+		n = 1
+	}
+	cuts := quiescentCuts(tr)
+	if len(cuts) > n-1 {
+		picked := make([]trace.Time, 0, n-1)
+		for j := 1; j < n; j++ {
+			c := cuts[j*len(cuts)/n]
+			if len(picked) == 0 || c > picked[len(picked)-1] {
+				picked = append(picked, c)
+			}
+		}
+		cuts = picked
+	}
+
+	bounds := append(cuts, tr.Meta.Duration+1)
+	out := make([]*trace.Trace, 0, len(bounds))
+	var e0, s0, c0 int
+	for _, hi := range bounds {
+		e1 := e0
+		for e1 < len(tr.Events) && tr.Events[e1].Time < hi {
+			e1++
+		}
+		s1 := s0
+		for s1 < len(tr.Samples) && tr.Samples[s1].Time < hi {
+			s1++
+		}
+		c1 := c0
+		for c1 < len(tr.Comms) && tr.Comms[c1].SendTime < hi {
+			c1++
+		}
+		if e1 == e0 && s1 == s0 && c1 == c0 && len(out) > 0 {
+			continue // empty window: nothing to carry
+		}
+		ch := &trace.Trace{Meta: tr.Meta}
+		ch.Meta.Regions = copyMap(tr.Meta.Regions)
+		ch.Meta.Params = copyMap(tr.Meta.Params)
+		ch.Events = append([]trace.Event(nil), tr.Events[e0:e1]...)
+		ch.Samples = append([]trace.Sample(nil), tr.Samples[s0:s1]...)
+		ch.Comms = append([]trace.Comm(nil), tr.Comms[c0:c1]...)
+		out = append(out, ch)
+		e0, s0, c0 = e1, s1, c1
+	}
+	if len(out) == 0 {
+		ch := &trace.Trace{Meta: tr.Meta}
+		ch.Meta.Regions = copyMap(tr.Meta.Regions)
+		ch.Meta.Params = copyMap(tr.Meta.Params)
+		out = append(out, ch)
+	}
+	return out
+}
+
+// quiescentCuts lists the candidate cut times: e.Time+1 for every event
+// e after which no rank is inside an MPI call and whose successor event
+// is strictly later (so the cut separates records instead of splitting
+// a (Time, Rank) tie across pieces).
+func quiescentCuts(tr *trace.Trace) []trace.Time {
+	ranks := tr.Meta.Ranks
+	if ranks < 1 {
+		return nil
+	}
+	inMPI := make([]bool, ranks)
+	inside := 0
+	var cuts []trace.Time
+	for i, e := range tr.Events {
+		if e.Type == trace.EvMPI && int(e.Rank) >= 0 && int(e.Rank) < ranks {
+			entering := e.Value != 0
+			if entering != inMPI[e.Rank] {
+				inMPI[e.Rank] = entering
+				if entering {
+					inside++
+				} else {
+					inside--
+				}
+			}
+		}
+		if inside == 0 && i+1 < len(tr.Events) && tr.Events[i+1].Time > e.Time {
+			cuts = append(cuts, e.Time+1)
+		}
+	}
+	return cuts
+}

@@ -1,0 +1,155 @@
+package session
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The write-ahead journal gives a live session crash durability with
+// the same discipline as the rescache disk tier: every accepted append
+// is persisted as one numbered segment file — written to a temp file,
+// fsynced, closed, and atomically renamed into place — before the
+// append is acknowledged, so a segment is either completely present or
+// completely absent after a kill -9. A meta.json sidecar records the
+// session's identity and option query so a restarted daemon can rebuild
+// the exact analysis configuration and replay the segments in order.
+//
+// Layout under the manager's Dir:
+//
+//	<dir>/<session-id>/meta.json
+//	<dir>/<session-id>/seg-00000000-1.uvt   (index, client sequence)
+//	<dir>/<session-id>/seg-00000001-2.uvt
+//
+// Segment payloads are the raw append bodies (complete UVT1 chunks),
+// so replay runs the byte-identical decode the original append ran.
+
+// journalMeta is the persisted session identity.
+type journalMeta struct {
+	ID      string
+	Query   string
+	Created time.Time
+}
+
+// segName renders a segment file name from its index and the client
+// sequence number the append carried (0 when the client sent none).
+func segName(idx int, clientSeq uint64) string {
+	return fmt.Sprintf("seg-%08d-%d.uvt", idx, clientSeq)
+}
+
+// parseSegName inverts segName; ok is false for temp files and any
+// other stray directory entry.
+func parseSegName(name string) (idx int, clientSeq uint64, ok bool) {
+	if !strings.HasPrefix(name, "seg-") || !strings.HasSuffix(name, ".uvt") {
+		return 0, 0, false
+	}
+	body := strings.TrimSuffix(strings.TrimPrefix(name, "seg-"), ".uvt")
+	i := strings.IndexByte(body, '-')
+	if i < 0 {
+		return 0, 0, false
+	}
+	n, err := strconv.Atoi(body[:i])
+	if err != nil || n < 0 {
+		return 0, 0, false
+	}
+	c, err := strconv.ParseUint(body[i+1:], 10, 64)
+	if err != nil {
+		return 0, 0, false
+	}
+	return n, c, true
+}
+
+// segNames lists a session directory's segment files in index order.
+func segNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if _, _, ok := parseSegName(e.Name()); ok {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // zero-padded indices sort numerically
+	return names, nil
+}
+
+// writeFileSync durably writes data as dir/name: temp file in the same
+// directory, write, fsync (timed through the fsync hook when non-nil),
+// close, atomic rename, then a best-effort directory sync so the rename
+// itself survives a crash.
+func writeFileSync(dir, name string, data []byte, fsync func(time.Duration)) error {
+	f, err := os.CreateTemp(dir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return fail(err)
+	}
+	start := time.Now()
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	if fsync != nil {
+		fsync(time.Since(start))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(dir)
+	return nil
+}
+
+// syncDir fsyncs a directory so a just-renamed entry is durable. Errors
+// are swallowed: not every platform or filesystem supports directory
+// sync, and the rename itself already happened.
+func syncDir(dir string) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return
+	}
+	d.Sync()
+	d.Close()
+}
+
+// writeMeta persists the session's identity file.
+func writeMeta(dir string, m journalMeta) error {
+	data, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+	return writeFileSync(dir, "meta.json", data, nil)
+}
+
+// readMeta loads a session's identity file.
+func readMeta(dir string) (journalMeta, error) {
+	var m journalMeta
+	data, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return m, err
+	}
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("session: meta.json does not decode: %w", err)
+	}
+	if m.ID == "" {
+		return m, fmt.Errorf("session: meta.json carries no session id")
+	}
+	return m, nil
+}
